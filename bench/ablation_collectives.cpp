@@ -1,0 +1,41 @@
+// Ablation: Quadrics hardware broadcast. Disabling it pushes
+// barrier/bcast/allreduce onto pure point-to-point trees — quantifying
+// how much of Fig. 12's QSN advantage comes from the Elite hardware.
+#include "bench_common.hpp"
+
+using namespace mns;
+using namespace mns::bench;
+
+namespace {
+double allreduce_us(bool hw) {
+  cluster::ClusterConfig cfg{.nodes = 8, .net = cluster::Net::kQuadrics};
+  cfg.tweak_elan_channel = [hw](mpi::ElanChannelConfig& c) {
+    c.use_hw_bcast = hw;
+  };
+  cluster::Cluster c(cfg);
+  double us = 0;
+  c.run([&us](mpi::Comm& comm) -> sim::Task<void> {
+    co_await comm.barrier();
+    const int iters = 50;
+    const double t0 = comm.wtime();
+    for (int i = 0; i < iters; ++i) {
+      co_await comm.allreduce(mpi::View::synth(0x100, 8), 1,
+                              mpi::Dtype::kDouble, mpi::ROp::kSum);
+    }
+    co_await comm.barrier();
+    if (comm.rank() == 0) us = (comm.wtime() - t0) / iters * 1e6;
+  });
+  return us;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Output out = parse_output(argc, argv);
+  util::Table t({"config", "allreduce_4B_us"});
+  t.row().add(std::string("hardware broadcast")).add(allreduce_us(true), 1);
+  t.row().add(std::string("p2p tree only")).add(allreduce_us(false), 1);
+  out.emit("Ablation: Quadrics 8-node allreduce with and without the "
+           "Elite hardware broadcast",
+           t);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared helpers for the per-figure/table bench binaries.
+//
+// Every binary prints one paper artifact: a header naming the figure or
+// table, then aligned columns (or CSV with --csv). Where the paper gives
+// a value, it is printed alongside ours.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "cluster/cluster.hpp"
+#include "microbench/microbench.hpp"
+#include "util/bytes.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace mns::bench {
+
+inline const std::vector<cluster::Net> kAllNets{
+    cluster::Net::kInfiniBand, cluster::Net::kMyrinet,
+    cluster::Net::kQuadrics};
+
+struct Output {
+  bool csv = false;
+  void emit(const std::string& title, const util::Table& t) const {
+    if (csv) {
+      t.print_csv(std::cout);
+    } else {
+      std::cout << "=== " << title << " ===\n";
+      t.print(std::cout);
+      std::cout << '\n';
+    }
+  }
+};
+
+inline Output parse_output(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  Output out;
+  out.csv = flags.get_bool("csv", false);
+  flags.reject_unknown();
+  return out;
+}
+
+/// Three series (one per net) over a size sweep -> one table.
+inline util::Table series_table(
+    const char* value_name,
+    const std::vector<std::uint64_t>& sizes,
+    const std::vector<microbench::Point>& ib,
+    const std::vector<microbench::Point>& my,
+    const std::vector<microbench::Point>& qs, int precision = 2) {
+  util::Table t({"size", std::string("IBA_") + value_name,
+                 std::string("Myri_") + value_name,
+                 std::string("QSN_") + value_name});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    t.row()
+        .add(util::size_label(sizes[i]))
+        .add(ib[i].value, precision)
+        .add(my[i].value, precision)
+        .add(qs[i].value, precision);
+  }
+  return t;
+}
+
+/// Run one registry app at paper scale (skeleton mode) and return the
+/// simulated seconds (rank 0).
+inline double run_app(const std::string& name, cluster::Net net,
+                      std::size_t nodes, int ppn = 1,
+                      cluster::Bus bus = cluster::Bus::kDefault) {
+  cluster::ClusterConfig cfg{
+      .nodes = nodes, .ppn = ppn, .net = net, .bus = bus};
+  cluster::Cluster c(cfg);
+  const auto& spec = apps::find_app(name);
+  if (!spec.ranks_ok(c.ranks())) {
+    throw std::invalid_argument(name + " cannot run on " +
+                                std::to_string(c.ranks()) + " ranks");
+  }
+  apps::AppResult r0;
+  c.run([&](mpi::Comm& comm) -> sim::Task<void> {
+    auto r = co_await spec.run_full(comm, apps::Mode::kSkeleton);
+    if (comm.rank() == 0) r0 = r;
+  });
+  return r0.app_seconds;
+}
+
+}  // namespace mns::bench

@@ -1,0 +1,66 @@
+// Extension (paper Section 3.7, after Kini et al.): InfiniBand collective
+// fast paths over hardware multicast, vs the stock point-to-point
+// algorithms. The paper stated "we are currently working along this
+// direction"; this bench quantifies what that work buys.
+#include "bench_common.hpp"
+
+using namespace mns;
+using namespace mns::bench;
+
+namespace {
+
+double collective_us(std::size_t nodes, bool mc, const char* which) {
+  cluster::ClusterConfig cfg{.nodes = nodes,
+                             .net = cluster::Net::kInfiniBand};
+  if (mc) {
+    cfg.tweak_channel = [](mpi::RdvChannelConfig& c) {
+      c.hw_multicast = true;
+      c.hw_bcast_overhead = sim::Time::us(5);
+    };
+  }
+  cluster::Cluster c(cfg);
+  double us = 0;
+  std::string op = which;
+  c.run([&](mpi::Comm& comm) -> sim::Task<void> {
+    co_await comm.barrier();
+    const int iters = 40;
+    const double t0 = comm.wtime();
+    for (int i = 0; i < iters; ++i) {
+      if (op == "bcast") {
+        co_await comm.bcast(mpi::View::synth(0x100, 64), 0);
+      } else if (op == "allreduce") {
+        co_await comm.allreduce(mpi::View::synth(0x200, 8), 1,
+                                mpi::Dtype::kDouble, mpi::ROp::kSum);
+      } else {
+        co_await comm.barrier();
+      }
+    }
+    co_await comm.barrier();
+    if (comm.rank() == 0) us = (comm.wtime() - t0) / iters * 1e6;
+  });
+  return us;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Output out = parse_output(argc, argv);
+  util::Table t({"op", "nodes", "p2p_us", "multicast_us", "speedup"});
+  for (const char* op : {"bcast", "allreduce", "barrier"}) {
+    for (std::size_t nodes : {8, 16}) {
+      const double p2p = collective_us(nodes, false, op);
+      const double mc = collective_us(nodes, true, op);
+      t.row()
+          .add(std::string(op))
+          .add(static_cast<std::uint64_t>(nodes))
+          .add(p2p, 1)
+          .add(mc, 1)
+          .add(p2p / mc, 2);
+    }
+  }
+  out.emit("Extension: InfiniBand collectives, point-to-point trees vs "
+           "hardware multicast (bcast/allreduce gain; barrier is gather-"
+           "bound without RDMA-flag fan-in)",
+           t);
+  return 0;
+}

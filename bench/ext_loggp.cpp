@@ -1,0 +1,27 @@
+// Extension: LogGP characterization of the three fabrics — the analysis
+// the paper's related work (Bell et al., IPDPS'03) applied to the same
+// interconnect generation.
+#include "bench_common.hpp"
+#include "microbench/logp.hpp"
+
+using namespace mns;
+using namespace mns::bench;
+
+int main(int argc, char** argv) {
+  const Output out = parse_output(argc, argv);
+  util::Table t({"net", "o_s_us", "o_r_us", "L_us", "g_us", "G_ns_per_B"});
+  for (auto net : kAllNets) {
+    const auto p = microbench::extract_loggp(net);
+    t.row()
+        .add(std::string(cluster::net_name(net)))
+        .add(p.os_us, 2)
+        .add(p.or_us, 2)
+        .add(p.L_us, 2)
+        .add(p.g_us, 2)
+        .add(p.G_ns_per_byte, 2);
+  }
+  out.emit("Extension: LogGP parameters extracted from the simulated "
+           "fabrics (Bell et al. methodology)",
+           t);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Paper Fig. 2: uni-directional bandwidth for window sizes 4 and 16.
+#include "bench_common.hpp"
+
+using namespace mns;
+using namespace mns::bench;
+
+int main(int argc, char** argv) {
+  const Output out = parse_output(argc, argv);
+  const auto sizes = util::size_sweep(4, 1 << 20);
+  util::Table t({"size", "IBA_4", "IBA_16", "Myri_4", "Myri_16", "QSN_4",
+                 "QSN_16"});
+  microbench::Options w4, w16;
+  w4.window = 4;
+  w16.window = 16;
+  std::vector<std::vector<microbench::Point>> cols;
+  for (auto net : kAllNets) {
+    cols.push_back(microbench::bandwidth(net, sizes, w4));
+    cols.push_back(microbench::bandwidth(net, sizes, w16));
+  }
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    auto& row = t.row().add(util::size_label(sizes[i]));
+    for (auto& c : cols) row.add(c[i].value, 1);
+  }
+  out.emit(
+      "Fig 2: bandwidth (MB/s, MB=2^20) | paper peaks: IBA 841, Myri 235, "
+      "QSN 308; IBA dips at 2K (eager->rendezvous)",
+      t);
+  return 0;
+}

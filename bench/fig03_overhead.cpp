@@ -1,0 +1,18 @@
+// Paper Fig. 3: host overhead (sender+receiver) in the latency test.
+#include "bench_common.hpp"
+
+using namespace mns;
+using namespace mns::bench;
+
+int main(int argc, char** argv) {
+  const Output out = parse_output(argc, argv);
+  const auto sizes = util::size_sweep(2, 1024);
+  auto t = series_table(
+      "ovh_us", sizes,
+      microbench::host_overhead(cluster::Net::kInfiniBand, sizes),
+      microbench::host_overhead(cluster::Net::kMyrinet, sizes),
+      microbench::host_overhead(cluster::Net::kQuadrics, sizes));
+  out.emit("Fig 3: host overhead (us) | paper: Myri 0.8, IBA 1.7, QSN 3.3",
+           t);
+  return 0;
+}

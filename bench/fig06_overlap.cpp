@@ -1,0 +1,21 @@
+// Paper Fig. 6: computation/communication overlap potential.
+#include "bench_common.hpp"
+
+using namespace mns;
+using namespace mns::bench;
+
+int main(int argc, char** argv) {
+  const Output out = parse_output(argc, argv);
+  const auto sizes = util::size_sweep(4, 64 << 10);
+  auto t = series_table(
+      "overlap_us", sizes,
+      microbench::overlap_potential(cluster::Net::kInfiniBand, sizes),
+      microbench::overlap_potential(cluster::Net::kMyrinet, sizes),
+      microbench::overlap_potential(cluster::Net::kQuadrics, sizes), 1);
+  out.emit(
+      "Fig 6: overlap potential (us) | paper shape: IBA/Myri plateau at the "
+      "rendezvous switch (host-driven handshake); QSN grows steadily "
+      "(NIC-resident Tports matching)",
+      t);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Paper Fig. 8: bandwidth under buffer reuse rates 0/50/100%.
+#include "bench_common.hpp"
+
+using namespace mns;
+using namespace mns::bench;
+
+int main(int argc, char** argv) {
+  const Output out = parse_output(argc, argv);
+  const auto sizes = util::size_sweep(4096, 64 << 10);
+  util::Table t({"size", "IBA_0", "IBA_50", "IBA_100", "Myri_0", "Myri_50",
+                 "Myri_100", "QSN_0", "QSN_50", "QSN_100"});
+  std::vector<std::vector<microbench::Point>> cols;
+  for (auto net : kAllNets) {
+    for (int reuse : {0, 50, 100}) {
+      cols.push_back(microbench::buffer_reuse_bandwidth(net, sizes, reuse));
+    }
+  }
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    auto& row = t.row().add(util::size_label(sizes[i]));
+    for (auto& c : cols) row.add(c[i].value, 1);
+  }
+  out.emit("Fig 8: bandwidth vs buffer reuse (MB/s) | paper shape: IBA and "
+           "QSN drop sharply without reuse",
+           t);
+  return 0;
+}

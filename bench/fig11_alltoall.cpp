@@ -1,0 +1,19 @@
+// Paper Fig. 11: MPI_Alltoall latency on 8 nodes.
+#include "bench_common.hpp"
+
+using namespace mns;
+using namespace mns::bench;
+
+int main(int argc, char** argv) {
+  const Output out = parse_output(argc, argv);
+  const auto sizes = util::size_sweep(4, 4 << 10);
+  auto t = series_table(
+      "a2a_us", sizes,
+      microbench::alltoall_latency(cluster::Net::kInfiniBand, sizes),
+      microbench::alltoall_latency(cluster::Net::kMyrinet, sizes),
+      microbench::alltoall_latency(cluster::Net::kQuadrics, sizes), 1);
+  out.emit("Fig 11: Alltoall on 8 nodes (us) | paper smalls: IBA 31, Myri "
+           "36, QSN 67",
+           t);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Paper Fig. 13: MPI memory usage of a barrier program vs node count.
+#include "bench_common.hpp"
+
+using namespace mns;
+using namespace mns::bench;
+
+int main(int argc, char** argv) {
+  const Output out = parse_output(argc, argv);
+  util::Table t({"nodes", "IBA_MB", "Myri_MB", "QSN_MB"});
+  const auto ib = microbench::memory_usage(cluster::Net::kInfiniBand, 8);
+  const auto my = microbench::memory_usage(cluster::Net::kMyrinet, 8);
+  const auto qs = microbench::memory_usage(cluster::Net::kQuadrics, 8);
+  for (std::size_t i = 0; i < ib.size(); ++i) {
+    t.row()
+        .add(ib[i].size)
+        .add(ib[i].value, 1)
+        .add(my[i].value, 1)
+        .add(qs[i].value, 1);
+  }
+  out.emit("Fig 13: MPI memory usage (MB) | paper: IBA grows with nodes "
+           "(RC connections), Myri/QSN flat",
+           t);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Paper Fig. 14: IS and MG class-B execution time on 8 nodes.
+#include "bench_common.hpp"
+
+using namespace mns;
+using namespace mns::bench;
+
+int main(int argc, char** argv) {
+  const Output out = parse_output(argc, argv);
+  util::Table t({"app", "IBA_s", "Myri_s", "QSN_s", "paper_IBA", "paper_Myri",
+                 "paper_QSN"});
+  struct Row { const char* app; double ib, my, qs; };
+  for (Row r : {Row{"IS", 1.78, 2.89, 2.47}, Row{"MG", 5.81, 6.29, 6.04}}) {
+    const std::string app = r.app == std::string("IS") ? "is" : "mg";
+    t.row()
+        .add(std::string(r.app))
+        .add(run_app(app, cluster::Net::kInfiniBand, 8), 2)
+        .add(run_app(app, cluster::Net::kMyrinet, 8), 2)
+        .add(run_app(app, cluster::Net::kQuadrics, 8), 2)
+        .add(r.ib, 2)
+        .add(r.my, 2)
+        .add(r.qs, 2);
+  }
+  out.emit("Fig 14: IS and MG on 8 nodes (class B, seconds)", t);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Paper Fig. 15: SP and BT on 4 nodes, LU on 8 nodes (class B seconds).
+// The paper gives no numeric values for SP/BT (bars only); the takeaway
+// it draws is that Quadrics closes the gap on SP/BT thanks to its
+// computation/communication overlap of the large non-blocking exchanges.
+#include "bench_common.hpp"
+
+using namespace mns;
+using namespace mns::bench;
+
+int main(int argc, char** argv) {
+  const Output out = parse_output(argc, argv);
+  util::Table t({"app", "nodes", "IBA_s", "Myri_s", "QSN_s"});
+  struct Row { const char* app; std::size_t nodes; };
+  for (Row r : {Row{"sp", 4}, Row{"bt", 4}, Row{"lu", 8}}) {
+    t.row()
+        .add(std::string(r.app))
+        .add(static_cast<std::uint64_t>(r.nodes))
+        .add(run_app(r.app, cluster::Net::kInfiniBand, r.nodes), 2)
+        .add(run_app(r.app, cluster::Net::kMyrinet, r.nodes), 2)
+        .add(run_app(r.app, cluster::Net::kQuadrics, r.nodes), 2);
+  }
+  out.emit("Fig 15: SP/BT on 4 nodes, LU on 8 nodes (class B, seconds) | "
+           "paper LU: IBA 165.5, Myri 170.7, QSN 168.2",
+           t);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Paper Fig. 16: CG and FT class-B execution time on 8 nodes.
+#include "bench_common.hpp"
+
+using namespace mns;
+using namespace mns::bench;
+
+int main(int argc, char** argv) {
+  const Output out = parse_output(argc, argv);
+  util::Table t({"app", "IBA_s", "Myri_s", "QSN_s", "paper_IBA", "paper_Myri",
+                 "paper_QSN"});
+  struct Row { const char* app; double ib, my, qs; };
+  for (Row r : {Row{"cg", 28.68, 29.65, 30.12}, Row{"ft", 37.92, 41.40, 43.23}}) {
+    t.row()
+        .add(std::string(r.app))
+        .add(run_app(r.app, cluster::Net::kInfiniBand, 8), 2)
+        .add(run_app(r.app, cluster::Net::kMyrinet, 8), 2)
+        .add(run_app(r.app, cluster::Net::kQuadrics, 8), 2)
+        .add(r.ib, 2)
+        .add(r.my, 2)
+        .add(r.qs, 2);
+  }
+  out.emit("Fig 16: CG and FT on 8 nodes (class B, seconds)", t);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Paper Fig. 17: Sweep3D (inputs 50 and 150) on 8 nodes.
+#include "bench_common.hpp"
+
+using namespace mns;
+using namespace mns::bench;
+
+int main(int argc, char** argv) {
+  const Output out = parse_output(argc, argv);
+  util::Table t({"input", "IBA_s", "Myri_s", "QSN_s", "paper_IBA",
+                 "paper_Myri", "paper_QSN"});
+  struct Row { const char* app; const char* label; double ib, my, qs; };
+  for (Row r : {Row{"s3d50", "50", 3.59, 3.57, 4.38},
+                Row{"s3d150", "150", 91.43, 89.66, 95.99}}) {
+    t.row()
+        .add(std::string(r.label))
+        .add(run_app(r.app, cluster::Net::kInfiniBand, 8), 2)
+        .add(run_app(r.app, cluster::Net::kMyrinet, 8), 2)
+        .add(run_app(r.app, cluster::Net::kQuadrics, 8), 2)
+        .add(r.ib, 2)
+        .add(r.my, 2)
+        .add(r.qs, 2);
+  }
+  out.emit("Fig 17: Sweep3D on 8 nodes (seconds) | known deviation: the "
+           "paper's QSN penalty on input 50 does not reproduce",
+           t);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Paper Fig. 27: MPI over InfiniBand bandwidth, PCI vs PCI-X host bus.
+#include "bench_common.hpp"
+
+using namespace mns;
+using namespace mns::bench;
+
+int main(int argc, char** argv) {
+  const Output out = parse_output(argc, argv);
+  const auto sizes = util::size_sweep(4, 1 << 20);
+  microbench::Options pci;
+  pci.bus = cluster::Bus::kPci66;
+  const auto x = microbench::bandwidth(cluster::Net::kInfiniBand, sizes);
+  const auto p = microbench::bandwidth(cluster::Net::kInfiniBand, sizes, pci);
+  util::Table t({"size", "PCIX_MBs", "PCI_MBs"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    t.row().add(util::size_label(sizes[i])).add(x[i].value, 1).add(p[i].value, 1);
+  }
+  out.emit("Fig 27: IBA bandwidth PCI vs PCI-X (MB/s) | paper: 841 -> 378 "
+           "on PCI",
+           t);
+  return 0;
+}

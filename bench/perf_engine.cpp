@@ -1,0 +1,69 @@
+// Engine performance micro-benchmarks (google-benchmark): these measure
+// the SIMULATOR itself (host performance), not the modelled hardware.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+using namespace mns;
+
+static void BM_EventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+      eng.after(sim::Time::ns(i), [] {});
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_EventThroughput)->Unit(benchmark::kMillisecond);
+
+static void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Mailbox<int> a(eng), b(eng);
+    eng.spawn([](sim::Mailbox<int>& a, sim::Mailbox<int>& b) -> sim::Task<void> {
+      for (int i = 0; i < 20000; ++i) {
+        a.send(i);
+        co_await b.receive();
+      }
+    }(a, b));
+    eng.spawn([](sim::Mailbox<int>& a, sim::Mailbox<int>& b) -> sim::Task<void> {
+      for (int i = 0; i < 20000; ++i) {
+        co_await a.receive();
+        b.send(i);
+      }
+    }(a, b));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 40000);
+}
+BENCHMARK(BM_CoroutinePingPong)->Unit(benchmark::kMillisecond);
+
+static void BM_MpiLatencySim(benchmark::State& state) {
+  for (auto _ : state) {
+    cluster::ClusterConfig cfg{.nodes = 2,
+                               .net = cluster::Net::kInfiniBand};
+    cluster::Cluster c(cfg);
+    c.run([](mpi::Comm& comm) -> sim::Task<void> {
+      const mpi::View buf = mpi::View::synth(0x1000 + comm.rank(), 64);
+      for (int i = 0; i < 500; ++i) {
+        if (comm.rank() == 0) {
+          co_await comm.send(buf, 1, 0);
+          co_await comm.recv(buf, 1, 0);
+        } else {
+          co_await comm.recv(buf, 0, 0);
+          co_await comm.send(buf, 0, 0);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MpiLatencySim)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

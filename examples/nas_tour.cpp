@@ -1,0 +1,113 @@
+// NAS tour: run any of the application kernels — with REAL verified
+// numerics at a test size, or the full class-B communication skeleton —
+// on a cluster of your choosing, and report time, verification, and the
+// profiler's view of its communication.
+//
+//   ./build/examples/nas_tour --app=cg --net=myri --nodes=8
+//   ./build/examples/nas_tour --app=ft --full --nodes=8
+//   ./build/examples/nas_tour --app=lu --nodes=4 --ppn=2
+//   ./build/examples/nas_tour --app=cg --trace=cg_timeline.csv
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "prof/trace.hpp"
+
+#include "apps/registry.hpp"
+#include "cluster/cluster.hpp"
+#include "util/flags.hpp"
+
+using namespace mns;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string app = flags.get("app", "cg");
+  cluster::ClusterConfig cfg;
+  cfg.net = cluster::parse_net(flags.get("net", "ib"));
+  cfg.nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
+  cfg.ppn = static_cast<int>(flags.get_int("ppn", 1));
+  const bool full = flags.get_bool("full", false);
+  const std::string trace_path = flags.get("trace", "");
+  flags.reject_unknown();
+
+  const auto& spec = apps::find_app(app);
+  cluster::Cluster c(cfg);
+  if (!spec.ranks_ok(c.ranks())) {
+    std::fprintf(stderr, "%s cannot run on %d ranks\n", app.c_str(),
+                 c.ranks());
+    return 1;
+  }
+
+  prof::Tracer tracer;
+  if (!trace_path.empty()) c.mpi().set_tracer(&tracer);
+
+  // Skeleton for full scale (class B would not fit in host memory as real
+  // arrays); real verified numerics at the test size.
+  const apps::Mode mode = full ? apps::Mode::kSkeleton : apps::Mode::kReal;
+  apps::AppResult result;
+  c.run([&](mpi::Comm& comm) -> sim::Task<void> {
+    auto& fn = full ? spec.run_full : spec.run_test;
+    auto r = co_await fn(comm, mode);
+    if (comm.rank() == 0) result = r;
+  });
+
+  std::printf("%s on %d x %s (%s, %s scale)\n", app.c_str(), c.ranks(),
+              cluster::net_name(cfg.net),
+              full ? "skeleton" : "real numerics",
+              full ? "class B/paper" : "test");
+  std::printf("  simulated time : %.3f s\n", result.app_seconds);
+  if (!full) {
+    std::printf("  verified       : %s\n", result.verified ? "YES" : "NO");
+    std::printf("  checksum       : %.6g\n", result.checksum);
+  }
+
+  const auto totals = c.recorder().totals();
+  std::printf("  MPI calls      : %llu (%llu collective)\n",
+              static_cast<unsigned long long>(totals.mpi_calls),
+              static_cast<unsigned long long>(totals.collective_calls));
+  std::printf("  volume         : %.1f MB (%.1f%% collective)\n",
+              static_cast<double>(totals.total_bytes) / (1 << 20),
+              totals.total_bytes
+                  ? 100.0 * static_cast<double>(totals.collective_bytes) /
+                        static_cast<double>(totals.total_bytes)
+                  : 0.0);
+  std::printf("  buffer reuse   : %.2f%%\n",
+              totals.buffer_accesses
+                  ? 100.0 * static_cast<double>(totals.buffer_reuses) /
+                        static_cast<double>(totals.buffer_accesses)
+                  : 0.0);
+  if (cfg.ppn > 1) {
+    std::printf("  intra-node p2p : %.1f%% of calls\n",
+                totals.ptp_calls
+                    ? 100.0 * static_cast<double>(totals.intra_calls) /
+                          static_cast<double>(totals.ptp_calls)
+                    : 0.0);
+  }
+  std::printf("  host events    : %llu simulated\n",
+              static_cast<unsigned long long>(
+                  c.engine().events_processed()));
+
+  if (!trace_path.empty()) {
+    std::ofstream f(trace_path);
+    tracer.write_csv(f);
+    std::printf("  trace          : %zu events -> %s\n",
+                tracer.events().size(), trace_path.c_str());
+    // Communication matrix (MB sent rank->rank) and time breakdown.
+    const auto m = tracer.comm_matrix(c.ranks());
+    std::printf("  comm matrix (MB sent):\n");
+    for (int r = 0; r < c.ranks(); ++r) {
+      std::printf("    r%-2d", r);
+      for (int d = 0; d < c.ranks(); ++d) {
+        std::printf(" %7.2f", static_cast<double>(m[r][d]) / (1 << 20));
+      }
+      std::printf("\n");
+    }
+    const auto bd = tracer.breakdown(c.ranks());
+    std::printf("  per-rank time  : compute / MPI / idle (s)\n");
+    for (int r = 0; r < c.ranks(); ++r) {
+      std::printf("    r%-2d %8.3f %8.3f %8.3f\n", r, bd[r].compute_s,
+                  bd[r].mpi_s, bd[r].idle_s());
+    }
+  }
+  return result.verified || full ? 0 : 1;
+}

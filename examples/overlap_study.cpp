@@ -1,0 +1,75 @@
+// Overlap study: a self-contained demonstration of the paper's deepest
+// point (Section 3.4 / Fig. 6) — WHY Quadrics overlaps communication with
+// computation and InfiniBand/Myrinet plateau.
+//
+// A rank posts a large isend+irecv exchange, computes for a configurable
+// time, then waits. We print the effective round time as computation
+// grows: on IB/GM the rendezvous handshake sits frozen while the host
+// computes, so past a small slack every extra microsecond of computation
+// is a microsecond of extra round time. On Quadrics the Elan NIC runs the
+// protocol itself and the transfer hides completely under computation.
+//
+//   ./build/examples/overlap_study [--size=64K]
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+#include "util/bytes.hpp"
+#include "util/flags.hpp"
+
+using namespace mns;
+using mpi::Comm;
+using mpi::Request;
+using mpi::View;
+using sim::Task;
+
+namespace {
+
+double timed_round(cluster::Net net, std::uint64_t size, double comp_us) {
+  cluster::ClusterConfig cfg{.nodes = 2, .net = net};
+  cluster::Cluster c(cfg);
+  double us = 0;
+  c.run([&](Comm& comm) -> Task<void> {
+    const int peer = 1 - comm.rank();
+    const View sbuf = View::synth(0x100000 + comm.rank(), size);
+    const View rbuf = View::synth(0x200000 + comm.rank(), size);
+    co_await comm.barrier();
+    const int iters = 8;
+    const double t0 = comm.wtime();
+    for (int i = 0; i < iters; ++i) {
+      Request rreq = co_await comm.irecv(rbuf, peer, 0);
+      Request sreq = co_await comm.isend(sbuf, peer, 0);
+      if (comp_us > 0) co_await comm.compute(comp_us * 1e-6);
+      co_await comm.wait(sreq);
+      co_await comm.wait(rreq);
+    }
+    if (comm.rank() == 0) us = (comm.wtime() - t0) / iters * 1e6;
+  });
+  return us;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::uint64_t size = flags.get_size("size", 64 << 10);
+  flags.reject_unknown();
+
+  std::printf("exchange of %llu bytes + N us of computation, per-round "
+              "time (us):\n\n",
+              static_cast<unsigned long long>(size));
+  std::printf("%10s %10s %10s %10s\n", "compute", "IBA", "Myri", "QSN");
+  const double base_ib = timed_round(cluster::Net::kInfiniBand, size, 0);
+  for (double comp : {0.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
+    std::printf("%10.0f %10.1f %10.1f %10.1f\n", comp,
+                timed_round(cluster::Net::kInfiniBand, size, comp),
+                timed_round(cluster::Net::kMyrinet, size, comp),
+                timed_round(cluster::Net::kQuadrics, size, comp));
+  }
+  std::printf(
+      "\nReading the table: a column that stays flat while 'compute' grows "
+      "is hiding the transfer under computation (NIC-driven progress); a "
+      "column tracking compute + %.0f us is serializing them (host-driven "
+      "rendezvous).\n",
+      base_ib);
+  return 0;
+}

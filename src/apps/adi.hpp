@@ -1,0 +1,35 @@
+// SP / BT — NAS ADI-style solvers.
+//
+// Both factorize a 3D implicit operator into per-direction line solves
+// (SP: scalar pentadiagonal, BT: block tridiagonal). We implement one
+// shared ADI heat-equation solver over a square 2D process grid: the x
+// solve is local, while the y and z solves pipeline Thomas-algorithm
+// boundary coefficients across the grid in blocks — the ~260 KB
+// non-blocking face messages of Tables 1 and 3. SP and BT differ in
+// iteration count, per-point work, and message payload width, exactly the
+// knobs NPB separates them by.
+//
+// Real mode marches the heat equation toward steady state and verifies
+// the step-to-step change decreases monotonically in norm.
+#pragma once
+
+#include "apps/app.hpp"
+
+namespace mns::apps {
+
+struct AdiParams {
+  int n;              // global cube dimension
+  int iterations;
+  int vars;           // solution components per point (SP: 5, BT: 5 blocks)
+  int pipeline_blocks;   // multipartition stages per distributed sweep
+  double sec_per_point;  // compute model: per point per direction sweep
+
+  static AdiParams sp_test() { return AdiParams{24, 4, 5, 6, 7.8e-7}; }
+  static AdiParams sp_class_b() { return AdiParams{102, 400, 5, 6, 7.8e-7}; }
+  static AdiParams bt_test() { return AdiParams{24, 4, 5, 5, 1.77e-6}; }
+  static AdiParams bt_class_b() { return AdiParams{102, 250, 5, 5, 1.77e-6}; }
+};
+
+sim::Task<AppResult> run_adi(mpi::Comm& comm, AdiParams p, Mode mode);
+
+}  // namespace mns::apps

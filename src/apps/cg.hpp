@@ -1,0 +1,37 @@
+// CG — NAS conjugate gradient.
+//
+// Communication skeleton follows NPB's 2D processor grid: per matvec, a
+// recursive-halving reduce-scatter across the processor row (the ~64-300 KB
+// messages of Table 1), a gather within the processor column, and
+// butterfly point-to-point allreduces for the dot products (the ~16k
+// 8-byte messages). Collectives are almost absent, matching the paper's
+// Table 5 (2 calls in the whole run).
+//
+// Real mode runs genuine CG on a seeded random symmetric diagonally
+// dominant sparse matrix; verification checks monotone residual reduction
+// and a finite solution norm.
+#pragma once
+
+#include "apps/app.hpp"
+
+namespace mns::apps {
+
+struct CgParams {
+  std::int64_t na;       // matrix order
+  int nonzer;            // expected off-diagonal nonzeros per row (one side)
+  int outer_iters;       // NPB "niter"
+  int inner_iters;       // CG iterations per outer step (NPB: 25)
+  double sec_per_nnz;    // compute model: matvec cost per stored nonzero
+  double sec_per_axpy;   // per vector element per inner iteration
+
+  static CgParams test_size() {
+    return CgParams{1024, 6, 3, 8, 5.0e-8, 1.0e-8};
+  }
+  static CgParams class_b() {
+    return CgParams{75000, 13, 75, 25, 5.0e-8, 1.0e-8};
+  }
+};
+
+sim::Task<AppResult> run_cg(mpi::Comm& comm, CgParams p, Mode mode);
+
+}  // namespace mns::apps

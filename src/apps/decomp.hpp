@@ -1,0 +1,87 @@
+// Domain-decomposition helpers shared by the application kernels.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace mns::apps {
+
+/// Split `n` items over `parts`; part `i` gets the contiguous block
+/// [begin, end). Remainders go to the leading parts (NAS convention).
+struct BlockRange {
+  std::int64_t begin;
+  std::int64_t end;
+  std::int64_t size() const { return end - begin; }
+};
+
+constexpr BlockRange block_range(std::int64_t n, int parts, int i) {
+  const std::int64_t base = n / parts;
+  const std::int64_t rem = n % parts;
+  const std::int64_t begin =
+      i * base + (i < rem ? i : rem);
+  const std::int64_t size = base + (i < rem ? 1 : 0);
+  return BlockRange{begin, begin + size};
+}
+
+constexpr bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+constexpr int ilog2(int x) {
+  int l = 0;
+  while ((1 << l) < x) ++l;
+  return l;
+}
+
+/// 2D process grid (px columns * py rows), rank = py_index * px + px_index.
+struct Grid2D {
+  int px;
+  int py;
+  int x(int rank) const { return rank % px; }
+  int y(int rank) const { return rank / px; }
+  int rank_of(int gx, int gy) const { return gy * px + gx; }
+  int west(int rank) const { return x(rank) > 0 ? rank - 1 : -1; }
+  int east(int rank) const { return x(rank) < px - 1 ? rank + 1 : -1; }
+  int north(int rank) const { return y(rank) > 0 ? rank - px : -1; }
+  int south(int rank) const { return y(rank) < py - 1 ? rank + px : -1; }
+};
+
+/// Near-square factorization of np (px >= py), e.g. 8 -> 4x2, 16 -> 4x4.
+inline Grid2D make_grid2d(int np) {
+  for (int py = static_cast<int>(std::uint32_t(1) << (ilog2(np) / 2));
+       py >= 1; --py) {
+    if (np % py == 0) return Grid2D{np / py, py};
+  }
+  return Grid2D{np, 1};
+}
+
+/// 3D process grid for power-of-two process counts (MG-style).
+struct Grid3D {
+  int px, py, pz;
+  int x(int r) const { return r % px; }
+  int y(int r) const { return (r / px) % py; }
+  int z(int r) const { return r / (px * py); }
+  int rank_of(int gx, int gy, int gz) const {
+    return (gz * py + gy) * px + gx;
+  }
+  /// Neighbour with periodic wrap in the given axis (0=x,1=y,2=z).
+  int neighbor(int r, int axis, int dir) const {
+    int gx = x(r), gy = y(r), gz = z(r);
+    auto wrap = [](int v, int n) { return (v + n) % n; };
+    if (axis == 0) gx = wrap(gx + dir, px);
+    if (axis == 1) gy = wrap(gy + dir, py);
+    if (axis == 2) gz = wrap(gz + dir, pz);
+    return rank_of(gx, gy, gz);
+  }
+};
+
+inline Grid3D make_grid3d(int np) {
+  if (!is_pow2(np)) {
+    throw std::invalid_argument("3D decomposition needs power-of-two ranks");
+  }
+  const int l = ilog2(np);
+  const int lz = l / 3;
+  const int ly = (l - lz) / 2;
+  const int lx = l - lz - ly;
+  return Grid3D{1 << lx, 1 << ly, 1 << lz};
+}
+
+}  // namespace mns::apps

@@ -1,0 +1,28 @@
+// FT — NAS 3D FFT.
+//
+// Slab-decomposed 3D FFT: x and y transforms are local, then one big
+// MPI_Alltoall transposes slabs to pencils for the z transform. Traffic is
+// purely collective (Table 5: 100% of calls and volume): ~20 multi-MB
+// alltoalls plus one small checksum allreduce per iteration (Table 1's
+// 24 small + 22 huge messages).
+//
+// Real mode verifies by round-tripping: forward + inverse 3D FFT must
+// reproduce the initial array to ~1e-10.
+#pragma once
+
+#include "apps/app.hpp"
+
+namespace mns::apps {
+
+struct FtParams {
+  int nx, ny, nz;   // powers of two
+  int iterations;
+  double sec_per_point_pass;  // compute model: per point per FFT pass
+
+  static FtParams test_size() { return FtParams{32, 16, 16, 3, 1.20e-7}; }
+  static FtParams class_b() { return FtParams{512, 256, 256, 20, 1.20e-7}; }
+};
+
+sim::Task<AppResult> run_ft(mpi::Comm& comm, FtParams p, Mode mode);
+
+}  // namespace mns::apps

@@ -1,0 +1,37 @@
+// IS — NAS integer sort.
+//
+// The most communication-extreme NAS kernel: almost all traffic is
+// collective (Table 5: 97% of calls, 100% of volume) and most bytes move
+// in >1 MB alltoallv exchanges (Table 1). Per ranking iteration:
+//   1. local bucket counting,
+//   2. MPI_Allreduce of the bucket histogram (a few KB),
+//   3. MPI_Alltoall of per-destination key counts (tiny),
+//   4. MPI_Alltoallv redistributing the keys (the >1 MB messages),
+//   5. local ranking of the received keys.
+// Verification (real mode): global sortedness across rank boundaries plus
+// key-count conservation.
+#pragma once
+
+#include "apps/app.hpp"
+
+namespace mns::apps {
+
+struct IsParams {
+  std::int64_t total_keys;
+  int max_key_log2;     // keys uniform in [0, 2^max_key_log2)
+  int buckets;          // power of two
+  int iterations;
+  double sec_per_key;   // compute model: counting+ranking cost per key/iter
+
+  static IsParams test_size() {
+    return IsParams{1 << 14, 16, 256, 4, 3.0e-8};
+  }
+  static IsParams class_b() {
+    // NPB class B: 2^25 keys in [0, 2^21), 10 iterations (+1 untimed).
+    return IsParams{1 << 25, 21, 1024, 11, 3.0e-8};
+  }
+};
+
+sim::Task<AppResult> run_is(mpi::Comm& comm, IsParams p, Mode mode);
+
+}  // namespace mns::apps

@@ -1,0 +1,28 @@
+// LU — NAS SSOR wavefront solver.
+//
+// The small-message extreme of the suite (Table 1: ~100k messages under
+// 2 KB): the lower/upper triangular sweeps pipeline k-planes across a 2D
+// process grid, exchanging one boundary strip per plane per direction.
+// Four full-face exchanges per iteration carry the large messages
+// (Table 1's ~1000 in 16K-1M; Table 3's 508 irecvs at ~300 KB).
+//
+// Real mode runs symmetric Gauss-Seidel (SSOR) sweeps on a 7-point
+// Laplacian system and verifies the residual drops.
+#pragma once
+
+#include "apps/app.hpp"
+
+namespace mns::apps {
+
+struct LuParams {
+  int n;            // global grid (n^3)
+  int iterations;
+  double sec_per_point;  // compute model: per grid point per sweep
+
+  static LuParams test_size() { return LuParams{24, 4, 2.4e-6}; }
+  static LuParams class_b() { return LuParams{102, 250, 2.4e-6}; }
+};
+
+sim::Task<AppResult> run_lu(mpi::Comm& comm, LuParams p, Mode mode);
+
+}  // namespace mns::apps

@@ -1,0 +1,29 @@
+// MG — NAS multigrid.
+//
+// V-cycles on a 3D Poisson problem over a 2x2x2 (at 8 ranks) process
+// grid. Communication is dominated by ghost-face exchanges at every grid
+// level — large messages at the fine level (the 16K-1M class of Table 1),
+// shrinking geometrically toward the coarse levels (the <2K tail) — plus
+// an allreduce per iteration for the residual norm (Table 5's ~100
+// collective calls).
+//
+// Real mode runs genuine weighted-Jacobi V-cycles with a 7-point stencil
+// and verifies the residual norm drops by a large factor.
+#pragma once
+
+#include "apps/app.hpp"
+
+namespace mns::apps {
+
+struct MgParams {
+  int n;            // global grid size per dimension (power of two)
+  int iterations;
+  double sec_per_point;  // compute model: stencil cost per grid point
+
+  static MgParams test_size() { return MgParams{32, 4, 1.65e-8}; }
+  static MgParams class_b() { return MgParams{256, 20, 1.65e-8}; }
+};
+
+sim::Task<AppResult> run_mg(mpi::Comm& comm, MgParams p, Mode mode);
+
+}  // namespace mns::apps

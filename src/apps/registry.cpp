@@ -1,0 +1,118 @@
+#include "apps/registry.hpp"
+
+#include <stdexcept>
+
+#include "apps/adi.hpp"
+#include "apps/cg.hpp"
+#include "apps/decomp.hpp"
+#include "apps/ft.hpp"
+#include "apps/is.hpp"
+#include "apps/lu.hpp"
+#include "apps/mg.hpp"
+#include "apps/sweep3d.hpp"
+
+namespace mns::apps {
+
+namespace {
+
+bool any_ranks(int) { return true; }
+bool pow2_ranks(int n) { return is_pow2(n); }
+bool square_ranks(int n) {
+  for (int q = 1; q * q <= n; ++q) {
+    if (q * q == n) return true;
+  }
+  return false;
+}
+
+std::vector<AppSpec> build() {
+  std::vector<AppSpec> specs;
+  specs.push_back({"is",
+                   [](mpi::Comm& c, Mode m) {
+                     return run_is(c, IsParams::class_b(), m);
+                   },
+                   [](mpi::Comm& c, Mode m) {
+                     return run_is(c, IsParams::test_size(), m);
+                   },
+                   any_ranks});
+  specs.push_back({"cg",
+                   [](mpi::Comm& c, Mode m) {
+                     return run_cg(c, CgParams::class_b(), m);
+                   },
+                   [](mpi::Comm& c, Mode m) {
+                     return run_cg(c, CgParams::test_size(), m);
+                   },
+                   pow2_ranks});
+  specs.push_back({"mg",
+                   [](mpi::Comm& c, Mode m) {
+                     return run_mg(c, MgParams::class_b(), m);
+                   },
+                   [](mpi::Comm& c, Mode m) {
+                     return run_mg(c, MgParams::test_size(), m);
+                   },
+                   pow2_ranks});
+  specs.push_back({"ft",
+                   [](mpi::Comm& c, Mode m) {
+                     return run_ft(c, FtParams::class_b(), m);
+                   },
+                   [](mpi::Comm& c, Mode m) {
+                     return run_ft(c, FtParams::test_size(), m);
+                   },
+                   pow2_ranks});
+  specs.push_back({"lu",
+                   [](mpi::Comm& c, Mode m) {
+                     return run_lu(c, LuParams::class_b(), m);
+                   },
+                   [](mpi::Comm& c, Mode m) {
+                     return run_lu(c, LuParams::test_size(), m);
+                   },
+                   any_ranks});
+  specs.push_back({"sp",
+                   [](mpi::Comm& c, Mode m) {
+                     return run_adi(c, AdiParams::sp_class_b(), m);
+                   },
+                   [](mpi::Comm& c, Mode m) {
+                     return run_adi(c, AdiParams::sp_test(), m);
+                   },
+                   square_ranks});
+  specs.push_back({"bt",
+                   [](mpi::Comm& c, Mode m) {
+                     return run_adi(c, AdiParams::bt_class_b(), m);
+                   },
+                   [](mpi::Comm& c, Mode m) {
+                     return run_adi(c, AdiParams::bt_test(), m);
+                   },
+                   square_ranks});
+  specs.push_back({"s3d50",
+                   [](mpi::Comm& c, Mode m) {
+                     return run_sweep3d(c, SweepParams::input_50(), m);
+                   },
+                   [](mpi::Comm& c, Mode m) {
+                     return run_sweep3d(c, SweepParams::test_size(), m);
+                   },
+                   any_ranks});
+  specs.push_back({"s3d150",
+                   [](mpi::Comm& c, Mode m) {
+                     return run_sweep3d(c, SweepParams::input_150(), m);
+                   },
+                   [](mpi::Comm& c, Mode m) {
+                     return run_sweep3d(c, SweepParams::test_size(), m);
+                   },
+                   any_ranks});
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<AppSpec>& registry() {
+  static const std::vector<AppSpec> specs = build();
+  return specs;
+}
+
+const AppSpec& find_app(const std::string& name) {
+  for (const auto& s : registry()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("unknown app '" + name + "'");
+}
+
+}  // namespace mns::apps

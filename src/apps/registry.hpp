@@ -1,0 +1,26 @@
+// Name-based application registry, used by the bench harnesses and
+// examples: "is", "cg", "mg", "ft", "lu", "sp", "bt", "s3d50", "s3d150".
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace mns::apps {
+
+struct AppSpec {
+  std::string name;
+  /// Paper-scale run (class B / the paper's inputs).
+  std::function<sim::Task<AppResult>(mpi::Comm&, Mode)> run_full;
+  /// Small run for tests/examples.
+  std::function<sim::Task<AppResult>(mpi::Comm&, Mode)> run_test;
+  /// Rank-count constraint, e.g. power-of-two or square.
+  std::function<bool(int)> ranks_ok;
+};
+
+const std::vector<AppSpec>& registry();
+const AppSpec& find_app(const std::string& name);
+
+}  // namespace mns::apps

@@ -1,0 +1,108 @@
+#include "cluster/cluster.hpp"
+
+#include <stdexcept>
+
+namespace mns::cluster {
+
+const char* net_name(Net n) {
+  switch (n) {
+    case Net::kInfiniBand: return "IBA";
+    case Net::kMyrinet: return "Myri";
+    case Net::kQuadrics: return "QSN";
+  }
+  return "?";
+}
+
+Net parse_net(const std::string& s) {
+  if (s == "ib" || s == "iba" || s == "infiniband") return Net::kInfiniBand;
+  if (s == "myri" || s == "gm" || s == "myrinet") return Net::kMyrinet;
+  if (s == "qsn" || s == "elan" || s == "quadrics") return Net::kQuadrics;
+  throw std::invalid_argument("unknown network '" + s +
+                              "' (want ib|myri|qsn)");
+}
+
+namespace {
+model::BusConfig bus_for(Net net, Bus bus) {
+  switch (bus) {
+    case Bus::kPci66: return model::pci_66();
+    case Bus::kPcix133: return model::pcix_133();
+    case Bus::kDefault:
+      // The testbed: InfiniHost + Myrinet cards in PCI-X slots, the Elan3
+      // QM-400 in a 64-bit/66 MHz PCI slot.
+      return net == Net::kQuadrics ? model::pci_66() : model::pcix_133();
+  }
+  return model::pcix_133();
+}
+}  // namespace
+
+Cluster::Cluster(const ClusterConfig& cfg)
+    : cfg_(cfg), eng_(std::make_unique<sim::Engine>()) {
+  if (cfg_.nodes == 0) throw std::invalid_argument("cluster needs nodes");
+  if (cfg_.ppn < 1 || cfg_.ppn > 2) {
+    throw std::invalid_argument("ppn must be 1 or 2 (dual-CPU nodes)");
+  }
+
+  const model::BusConfig bus = bus_for(cfg_.net, cfg_.bus);
+  std::vector<model::NodeHw*> node_ptrs;
+  nodes_.reserve(cfg_.nodes);
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+    nodes_.push_back(std::make_unique<model::NodeHw>(
+        *eng_, bus, model::xeon_2003_memcpy()));
+    node_ptrs.push_back(nodes_.back().get());
+  }
+
+  mpi_ = std::make_unique<mpi::Mpi>(
+      *eng_, mpi::Topology::block(cfg_.nodes, cfg_.ppn));
+
+  switch (cfg_.net) {
+    case Net::kInfiniBand: {
+      auto fc = ib::default_ib_config(cfg_.nodes);
+      if (cfg_.tweak_ib) cfg_.tweak_ib(fc);
+      ib_ = std::make_unique<ib::IbFabric>(*eng_, node_ptrs, fc);
+      auto cc = mpi::default_ch_ib_config();
+      if (cfg_.tweak_channel) cfg_.tweak_channel(cc);
+      mpi_->set_device(mpi::make_ch_ib(*mpi_, *ib_, cc));
+      break;
+    }
+    case Net::kMyrinet: {
+      auto fc = gm::default_gm_config(cfg_.nodes);
+      if (cfg_.tweak_gm) cfg_.tweak_gm(fc);
+      gm_ = std::make_unique<gm::GmFabric>(*eng_, node_ptrs, fc);
+      auto cc = mpi::default_ch_gm_config();
+      if (cfg_.tweak_channel) cfg_.tweak_channel(cc);
+      mpi_->set_device(mpi::make_ch_gm(*mpi_, *gm_, cc));
+      break;
+    }
+    case Net::kQuadrics: {
+      auto fc = elan::default_elan_config(cfg_.nodes);
+      if (cfg_.tweak_elan) cfg_.tweak_elan(fc);
+      elan_ = std::make_unique<elan::ElanFabric>(*eng_, node_ptrs, fc);
+      auto cc = mpi::default_elan_channel_config();
+      if (cfg_.tweak_elan_channel) cfg_.tweak_elan_channel(cc);
+      mpi_->set_device(mpi::make_ch_elan(*mpi_, *elan_, cc));
+      break;
+    }
+  }
+
+  comms_.reserve(mpi_->size());
+  for (std::size_t r = 0; r < mpi_->size(); ++r) {
+    comms_.push_back(
+        std::make_unique<mpi::Comm>(*mpi_, static_cast<mpi::Rank>(r)));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+sim::Time Cluster::run(RankMain rank_main) {
+  const sim::Time start = eng_->now();
+  for (auto& comm : comms_) {
+    // Wrap so each rank's coroutine sees its own Comm.
+    eng_->spawn([](RankMain fn, mpi::Comm& c) -> sim::Task<void> {
+      co_await fn(c);
+    }(rank_main, *comm));
+  }
+  eng_->run();
+  return eng_->now() - start;
+}
+
+}  // namespace mns::cluster

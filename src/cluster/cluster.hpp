@@ -1,0 +1,98 @@
+// Cluster: the top-level harness assembling the paper's testbed.
+//
+// One Cluster = the 8-node dual-Xeon OSU cluster (or the 16-node Topspin
+// system) cabled with one of the three interconnects. It owns the engine,
+// the per-node hardware, the chosen fabric, and the MPI job, and runs a
+// rank program to completion in simulated time.
+//
+//   cluster::ClusterConfig cfg{.nodes = 8, .net = cluster::Net::kInfiniBand};
+//   cluster::Cluster c(cfg);
+//   sim::Time t = c.run([](mpi::Comm& comm) -> sim::Task<void> {
+//     co_await comm.barrier();
+//   });
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "elan/elan_fabric.hpp"
+#include "gm/gm_fabric.hpp"
+#include "ib/ib_fabric.hpp"
+#include "model/node_hw.hpp"
+#include "mpi/ch_factories.hpp"
+#include "mpi/comm.hpp"
+#include "sim/engine.hpp"
+
+namespace mns::cluster {
+
+enum class Net { kInfiniBand, kMyrinet, kQuadrics };
+
+const char* net_name(Net n);
+/// Parse "ib" / "myri" / "qsn" (the paper's series labels).
+Net parse_net(const std::string& s);
+
+enum class Bus {
+  kDefault,  // historical: IB + Myrinet on PCI-X, Quadrics on PCI
+  kPci66,    // force PCI 66 (the paper's Figs. 26-28 experiment)
+  kPcix133,
+};
+
+struct ClusterConfig {
+  std::size_t nodes = 8;
+  int ppn = 1;  // processes per node (paper: 1, or 2 for SMP mode)
+  Net net = Net::kInfiniBand;
+  Bus bus = Bus::kDefault;
+
+  // Ablation/calibration hooks: mutate the default hardware or channel
+  // parameters before construction.
+  std::function<void(ib::IbConfig&)> tweak_ib;
+  std::function<void(gm::GmConfig&)> tweak_gm;
+  std::function<void(elan::ElanConfig&)> tweak_elan;
+  std::function<void(mpi::RdvChannelConfig&)> tweak_channel;
+  std::function<void(mpi::ElanChannelConfig&)> tweak_elan_channel;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& cfg);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  using RankMain = std::function<sim::Task<void>(mpi::Comm&)>;
+
+  /// Run `rank_main` on every rank to completion; returns elapsed
+  /// simulated time for this run. May be called repeatedly (time
+  /// accumulates; caches stay warm — like consecutive trials in one job).
+  sim::Time run(RankMain rank_main);
+
+  sim::Engine& engine() { return *eng_; }
+  mpi::Mpi& mpi() { return *mpi_; }
+  mpi::Comm& comm(int rank) { return *comms_.at(static_cast<std::size_t>(rank)); }
+  int ranks() const { return static_cast<int>(comms_.size()); }
+  const ClusterConfig& config() const { return cfg_; }
+
+  prof::Recorder& recorder() { return mpi_->recorder(); }
+  sim::Cpu& cpu(int rank) { return mpi_->proc(rank).cpu(); }
+
+  /// MPI library memory footprint on a node (paper Fig. 13).
+  std::uint64_t device_memory_bytes(int node) const {
+    return mpi_->device().memory_bytes(node);
+  }
+
+ private:
+  ClusterConfig cfg_;
+  std::unique_ptr<sim::Engine> eng_;
+  std::vector<std::unique_ptr<model::NodeHw>> nodes_;
+  // Exactly one of these is built, per cfg_.net.
+  std::unique_ptr<ib::IbFabric> ib_;
+  std::unique_ptr<gm::GmFabric> gm_;
+  std::unique_ptr<elan::ElanFabric> elan_;
+  std::unique_ptr<mpi::Mpi> mpi_;
+  std::vector<std::unique_ptr<mpi::Comm>> comms_;
+};
+
+}  // namespace mns::cluster

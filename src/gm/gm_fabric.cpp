@@ -1,0 +1,66 @@
+#include "gm/gm_fabric.hpp"
+
+namespace mns::gm {
+
+GmConfig default_gm_config(std::size_t nodes) {
+  using sim::Time;
+  return GmConfig{
+      .switch_cfg =
+          {
+              .ports = nodes,
+              .port_bytes_per_second = 250e6,  // 2 Gbps links
+              .forward_latency = Time::ns(300),
+          },
+      .nic =
+          {
+              .tx_rate = 248e6,
+              .rx_rate = 248e6,
+              .tx_wire_latency = Time::ns(400),
+              .rx_fixed = Time::ns(150),
+              // LANai firmware runs the protocol: per-message work is the
+              // bulk of the 6.7 us latency, with tiny host overhead.
+              .per_msg_setup = Time::usec(2.0),
+              .per_msg_rx_setup = Time::usec(1.8),
+              // Pipelining granularity: the LANai streams packets through
+              // SRAM in ~1 KB chunks (cut-through behaviour).
+              .mtu = 1024,
+              .shared_processor = true,
+              // GM is reliable: the LANai retires each send token on ack.
+              .ack_processing = Time::usec(2.0),
+              .ack_delay = Time::ns(200),
+          },
+      .regcache =
+          {
+              .register_base = Time::us(20),
+              .register_per_page = Time::usec(1.2),
+              .deregister_cost = Time::us(15),
+              .page_bytes = 4096,
+              .capacity_bytes = 256ULL << 20,
+          },
+      .sram_rate = 356e6,            // ~340 MB (2^20) /s aggregate staging
+      .sram_free_bytes = 256 << 10,  // beyond this, staging contends
+      .memory_bytes = 11ULL << 20,
+  };
+}
+
+GmFabric::GmFabric(sim::Engine& eng, std::vector<model::NodeHw*> nodes,
+                   const GmConfig& cfg)
+    : NetFabric(eng, std::move(nodes), cfg.switch_cfg, cfg.nic), cfg_(cfg) {
+  regcache_.reserve(node_count());
+  sram_.reserve(node_count());
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    regcache_.emplace_back(cfg_.regcache);
+    sram_.push_back(std::make_unique<model::Pipe>(eng, cfg_.sram_rate));
+  }
+}
+
+std::uint64_t GmFabric::memory_bytes(int) const { return cfg_.memory_bytes; }
+
+model::Pipe* GmFabric::staging_pipe(int node_id, const model::NetMsg& msg) {
+  // Small messages fit comfortably in SRAM buffers; only bulk transfers
+  // contend for staging bandwidth.
+  if (msg.bytes <= cfg_.sram_free_bytes) return nullptr;
+  return sram_[static_cast<std::size_t>(node_id)].get();
+}
+
+}  // namespace mns::gm

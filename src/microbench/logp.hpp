@@ -1,0 +1,30 @@
+// LogGP parameter extraction.
+//
+// The paper's related work (Bell et al., IPDPS'03) characterized these
+// same interconnects with the LogP/LogGP model; this module extracts the
+// model parameters from our simulated fabrics the same way one would on
+// hardware:
+//
+//   o_s, o_r : send/receive host overheads (CPU-busy accounting)
+//   L        : wire latency = one-way small-message time - o_s - o_r
+//   g        : gap, the reciprocal of the small-message issue rate
+//   G        : Gap per byte, the reciprocal of the asymptotic bandwidth
+#pragma once
+
+#include "cluster/cluster.hpp"
+
+namespace mns::microbench {
+
+struct LogGPParams {
+  double os_us;  // send overhead
+  double or_us;  // receive overhead
+  double L_us;   // latency
+  double g_us;   // inter-message gap (small messages)
+  double G_ns_per_byte;  // gap per byte (large messages)
+};
+
+/// Measure the LogGP parameters of `net` (2 nodes, default bus).
+LogGPParams extract_loggp(cluster::Net net,
+                          cluster::Bus bus = cluster::Bus::kDefault);
+
+}  // namespace mns::microbench

@@ -1,0 +1,25 @@
+#include "model/bus.hpp"
+
+namespace mns::model {
+
+BusConfig pcix_133() noexcept {
+  // 64-bit * 133 MHz = 1064 MB/s theoretical; sustained DMA efficiency on
+  // the ServerWorks GC chipset lands near 85%.
+  return BusConfig{
+      .name = "PCI-X 133",
+      .effective_bytes_per_second = 950e6,
+      .per_dma_setup = sim::Time::ns(120),
+  };
+}
+
+BusConfig pci_66() noexcept {
+  // 64-bit * 66 MHz = 532 MB/s theoretical; PCI's shorter bursts and
+  // higher arbitration overhead give distinctly worse efficiency.
+  return BusConfig{
+      .name = "PCI 66",
+      .effective_bytes_per_second = 400e6,
+      .per_dma_setup = sim::Time::ns(180),
+  };
+}
+
+}  // namespace mns::model

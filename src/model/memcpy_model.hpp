@@ -1,0 +1,52 @@
+// Host memory copy cost model.
+//
+// Shared-memory MPI paths and eager-protocol staging pay memcpy costs on
+// the host. On the testbed's 2.4 GHz Xeons, copies that fit in L2 run at
+// cache speed; larger copies stream from DRAM, and ping-ponging a large
+// buffer between two processes thrashes the cache (the paper's Fig. 10
+// shows exactly this droop for Myrinet's and Quadrics' SMP paths).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mns::model {
+
+struct MemcpyConfig {
+  sim::Time per_call;         // call + loop setup overhead
+  double cached_rate;         // bytes/s while source+dest fit in cache
+  double dram_rate;           // bytes/s once streaming from memory
+  std::uint64_t cache_bytes;  // effective cache capacity for a copy
+};
+
+/// Circa-2003 dual-Xeon (512 KB L2) defaults.
+constexpr MemcpyConfig xeon_2003_memcpy() {
+  return MemcpyConfig{
+      .per_call = sim::Time::ns(60),
+      .cached_rate = 1.6e9,
+      .dram_rate = 0.75e9,
+      .cache_bytes = 256 * 1024,  // half of L2: source and destination
+  };
+}
+
+class MemcpyModel {
+ public:
+  explicit constexpr MemcpyModel(const MemcpyConfig& cfg) : cfg_(cfg) {}
+
+  /// Time for one copy of `bytes`.
+  constexpr sim::Time copy_time(std::uint64_t bytes) const {
+    const std::uint64_t cached =
+        bytes < cfg_.cache_bytes ? bytes : cfg_.cache_bytes;
+    const std::uint64_t streamed = bytes - cached;
+    return cfg_.per_call + sim::transfer_time(cached, cfg_.cached_rate) +
+           sim::transfer_time(streamed, cfg_.dram_rate);
+  }
+
+  const MemcpyConfig& config() const { return cfg_; }
+
+ private:
+  MemcpyConfig cfg_;
+};
+
+}  // namespace mns::model

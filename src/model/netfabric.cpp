@@ -1,0 +1,188 @@
+#include "model/netfabric.hpp"
+
+#include <algorithm>
+
+namespace mns::model {
+
+NetFabric::NetFabric(sim::Engine& eng, std::vector<NodeHw*> nodes,
+                     const SwitchConfig& sw, const NicConfig& nic)
+    : eng_(&eng), nodes_(std::move(nodes)), nic_(nic) {
+  if (sw.fat_tree_radix > 0 && sw.fat_tree_radix < nodes_.size()) {
+    topo_ = std::make_unique<FatTree>(eng, sw, nodes_.size(),
+                                      sw.fat_tree_radix);
+  } else {
+    topo_ = std::make_unique<SingleCrossbar>(eng, sw);
+  }
+  const std::size_t n = nodes_.size();
+  tx_.reserve(n);
+  rx_.reserve(n);
+  sendq_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tx_.push_back(
+        std::make_unique<Pipe>(eng, nic_.tx_rate, nic_.tx_wire_latency));
+    rx_.push_back(std::make_unique<Pipe>(eng, nic_.rx_rate, nic_.rx_fixed));
+    // Rate is irrelevant for the protocol processor: it only serializes
+    // per-message occupancies.
+    nic_proc_.push_back(std::make_unique<Pipe>(eng, 1e12));
+    sendq_.push_back(std::make_unique<sim::Mailbox<NetMsg>>(eng));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    eng_->spawn(sender_loop(static_cast<int>(i)), /*daemon=*/true);
+  }
+}
+
+void NetFabric::post(NetMsg msg) {
+  on_posted(msg);
+  sendq_[static_cast<std::size_t>(msg.src)]->send(std::move(msg));
+}
+
+sim::Time NetFabric::tx_setup(const NetMsg&) { return nic_.per_msg_setup; }
+sim::Time NetFabric::tx_stall(const NetMsg&) { return sim::Time::zero(); }
+sim::Time NetFabric::rx_stall(const NetMsg&) { return sim::Time::zero(); }
+Pipe* NetFabric::staging_pipe(int, const NetMsg&) { return nullptr; }
+void NetFabric::on_posted(const NetMsg&) {}
+void NetFabric::on_delivered(const NetMsg&) {}
+
+sim::Task<void> NetFabric::sender_loop(int node_id) {
+  auto& queue = *sendq_[static_cast<std::size_t>(node_id)];
+  auto& bus = nodes_[static_cast<std::size_t>(node_id)]->bus();
+  for (;;) {
+    NetMsg msg = co_await queue.receive();
+    if (nic_.shared_processor) {
+      // One protocol processor handles send and receive events: the
+      // per-message send work competes with incoming-message work.
+      co_await nic_proc_[static_cast<std::size_t>(node_id)]->occupy(
+          tx_setup(msg));
+    } else {
+      co_await eng_->delay(tx_setup(msg));
+    }
+    const sim::Time stall = tx_stall(msg);
+    if (stall > sim::Time::zero()) {
+      co_await tx_pipe(node_id).occupy(stall);
+    }
+
+    // Pipelining granularity: MTU-sized packets, but capped at 64 chunks
+    // per message so huge transfers stay cheap to simulate (the pipeline
+    // fill/drain error of coarser chunking is under 2%).
+    const std::uint64_t chunk =
+        std::max<std::uint64_t>(nic_.mtu, (msg.bytes + 63) / 64);
+    const std::uint64_t packets =
+        msg.bytes == 0 ? 1 : (msg.bytes + chunk - 1) / chunk;
+    auto state = std::make_shared<MsgState>(
+        MsgState{std::move(msg), packets, packets});
+
+    // Closed-loop injection: each packet is fetched across the host bus
+    // before the next, so concurrent senders on this node interleave at
+    // packet granularity and per-pair ordering is preserved.
+    std::uint64_t left = state->msg.bytes;
+    for (std::uint64_t p = 0; p < packets; ++p) {
+      const std::uint64_t pkt = left < chunk ? left : chunk;
+      left -= pkt;
+      co_await bus.dma(pkt);
+      eng_->spawn(packet_tail(pkt, state), /*daemon=*/true);
+    }
+  }
+}
+
+sim::Task<void> NetFabric::packet_tail(std::uint64_t pkt,
+                                       std::shared_ptr<MsgState> state) {
+  const int src = state->msg.src;
+  const int dst = state->msg.dst;
+
+  co_await tx_pipe(src).transfer(pkt);
+  if (--state->packets_left_tx == 0) {
+    // Last byte has left the sender NIC: eager sends complete here.
+    if (!state->msg.complete_on_delivery && state->msg.local_complete) {
+      state->msg.local_complete();
+    }
+  }
+
+  if (Pipe* stage = staging_pipe(src, state->msg)) {
+    co_await stage->transfer(pkt);
+  }
+
+  if (src != dst) {
+    co_await topo_->route(src, dst, pkt);
+  }
+
+  if (Pipe* stage = staging_pipe(dst, state->msg)) {
+    co_await stage->transfer(pkt);
+  }
+
+  if (state->first_packet) {
+    state->first_packet = false;
+    const sim::Time stall = rx_stall(state->msg) + nic_.per_msg_rx_setup;
+    if (nic_.shared_processor) {
+      // Receive-side per-message work runs on the shared protocol
+      // processor (contending with sends), then the data crosses rx.
+      co_await nic_proc_[static_cast<std::size_t>(dst)]->occupy(stall);
+      co_await rx_pipe(dst).transfer(pkt);
+    } else {
+      // Stall + first-packet data as one atomic reservation, so packets
+      // of other messages cannot be reordered into the gap.
+      co_await rx_pipe(dst).transfer_after(stall, pkt);
+    }
+  } else {
+    co_await rx_pipe(dst).transfer(pkt);
+  }
+  co_await nodes_[static_cast<std::size_t>(dst)]->bus().dma(pkt);
+
+  if (--state->packets_left == 0) {
+    ++delivered_;
+    if (nic_.ack_processing > sim::Time::zero() && src != dst) {
+      // Delivery ack returns to the source NIC and occupies its
+      // protocol processor while the send token is retired.
+      eng_->spawn([](NetFabric& self, int src) -> sim::Task<void> {
+        co_await self.eng_->delay(self.nic_.ack_delay);
+        co_await self.nic_proc(src).occupy(self.nic_.ack_processing);
+      }(*this, src), /*daemon=*/true);
+    }
+    on_delivered(state->msg);
+    if (state->msg.complete_on_delivery && state->msg.local_complete) {
+      state->msg.local_complete();
+    }
+    if (state->msg.remote_arrival) state->msg.remote_arrival();
+  }
+}
+
+void NetFabric::post_switch_broadcast(int src, std::uint64_t bytes,
+                                      sim::Time extra_setup,
+                                      std::function<void()> on_delivered) {
+  auto task = [](NetFabric& self, int src, std::uint64_t bytes,
+                 sim::Time extra_setup,
+                 std::function<void()> on_delivered) -> sim::Task<void> {
+    co_await self.eng_->delay(self.nic_.per_msg_setup + extra_setup);
+    co_await self.node(src).bus().dma(bytes);
+    co_await self.tx_pipe(src).transfer(bytes);
+
+    struct Fanout {
+      std::size_t remaining;
+      sim::Trigger done;
+      Fanout(sim::Engine& e, std::size_t n) : remaining(n), done(e) {}
+    };
+    const std::size_t peers = self.node_count() - 1;
+    if (peers == 0) {
+      if (on_delivered) on_delivered();
+      co_return;
+    }
+    auto fan = std::make_shared<Fanout>(*self.eng_, peers);
+    auto leg = [](NetFabric& self, int src, int dst, std::uint64_t bytes,
+                  std::shared_ptr<Fanout> fan) -> sim::Task<void> {
+      co_await self.topo_->route(src, dst, bytes);
+      co_await self.rx_pipe(dst).transfer(bytes);
+      co_await self.node(dst).bus().dma(bytes);
+      if (--fan->remaining == 0) fan->done.fire();
+    };
+    for (std::size_t d = 0; d < self.node_count(); ++d) {
+      if (static_cast<int>(d) == src) continue;
+      self.eng_->spawn(leg(self, src, static_cast<int>(d), bytes, fan),
+                       /*daemon=*/true);
+    }
+    co_await fan->done.wait();
+    if (on_delivered) on_delivered();
+  };
+  eng_->spawn(task(*this, src, bytes, extra_setup, std::move(on_delivered)),
+              /*daemon=*/true);
+}
+
+}  // namespace mns::model

@@ -1,0 +1,141 @@
+// NetFabric: the shared skeleton of a cluster interconnect.
+//
+// One NIC per node, one central crossbar switch, per-node host buses. A
+// message posted by the host is handled by the sender NIC's (simulated)
+// injection engine: per-message setup, then MTU packets DMA'd from host
+// memory (closed loop on the bus) and pushed through
+//
+//   [host bus] -> [NIC tx] -> [switch port(dst)] -> [NIC rx] -> [host bus]
+//
+// with every stage a FIFO Pipe, so per-(src,dst) delivery order equals
+// post order — the property the MPI devices rely on. Intra-node messages
+// (src == dst, the "NIC loopback" path some MPI devices use) skip the
+// switch.
+//
+// The three interconnects subclass this and add their quirks through the
+// protected hooks: Myrinet's shared SRAM staging, Quadrics' NIC MMU walks
+// and DMA-queue-overflow penalty, InfiniBand's per-connection resources.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "model/node_hw.hpp"
+#include "model/pipe.hpp"
+#include "model/switch.hpp"
+#include "model/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace mns::model {
+
+/// One message travelling the fabric. Callbacks are how the MPI device
+/// layers react; the fabric itself never touches payload bytes.
+struct NetMsg {
+  int src = 0;
+  int dst = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t src_addr = 0;  // buffer identities for MMU/TLB models
+  std::uint64_t dst_addr = 0;
+  /// Zero-copy sends complete at the sender only once delivered (the RC /
+  /// directed-send acknowledgement); eager sends complete when the last
+  /// byte has left the sender NIC.
+  bool complete_on_delivery = false;
+  std::function<void()> local_complete;  // sender buffer reusable
+  std::function<void()> remote_arrival;  // last byte in remote memory
+};
+
+struct NicConfig {
+  double tx_rate;         // NIC injection rate (bytes/s), <= link rate
+  double rx_rate;         // NIC delivery rate
+  sim::Time tx_wire_latency;   // propagation + serial link latency, tx side
+  sim::Time rx_fixed;          // per-packet receive processing
+  sim::Time per_msg_setup;     // per-message work on the sending NIC
+  sim::Time per_msg_rx_setup;  // per-message work on the receiving NIC
+  std::uint32_t mtu;
+  /// NIC with one protocol processor (LANai, Elan3): per-message send and
+  /// receive processing serialize on it, so simultaneous bi-directional
+  /// traffic pays extra latency (paper Fig. 4). The InfiniHost has
+  /// independent hardware engines per direction and sets this false.
+  bool shared_processor = false;
+  /// Reliable-delivery acknowledgement: after delivery, the *source* NIC
+  /// processes an ack to retire the send token, occupying its protocol
+  /// processor. Zero disables.
+  sim::Time ack_processing = sim::Time::zero();
+  sim::Time ack_delay = sim::Time::zero();  // wire time for the ack
+};
+
+class NetFabric {
+ public:
+  NetFabric(sim::Engine& eng, std::vector<NodeHw*> nodes,
+            const SwitchConfig& sw, const NicConfig& nic);
+  virtual ~NetFabric() = default;
+  NetFabric(const NetFabric&) = delete;
+  NetFabric& operator=(const NetFabric&) = delete;
+
+  /// Hand a message to the source NIC. Returns immediately; progress is
+  /// autonomous (hardware), completion is reported via the callbacks.
+  void post(NetMsg msg);
+
+  sim::Engine& engine() const { return *eng_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  NodeHw& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  SwitchTopology& topology() { return *topo_; }
+  const NicConfig& nic_config() const { return nic_; }
+
+  std::uint64_t messages_delivered() const { return delivered_; }
+
+  /// Switch-level multicast: one injection from `src`'s NIC, replicated by
+  /// the crossbar to every other node (Elite hardware broadcast; IB
+  /// multicast groups). `extra_setup` models the protocol envelope;
+  /// `on_delivered` fires when every copy has landed.
+  void post_switch_broadcast(int src, std::uint64_t bytes,
+                             sim::Time extra_setup,
+                             std::function<void()> on_delivered);
+
+ protected:
+  /// Per-message setup on the sending NIC (serialized per node).
+  virtual sim::Time tx_setup(const NetMsg& msg);
+  /// Stall before injection, occupying the tx pipe (e.g. source MMU walk).
+  virtual sim::Time tx_stall(const NetMsg& msg);
+  /// Stall before delivery, occupying the rx pipe (e.g. dest MMU walk).
+  virtual sim::Time rx_stall(const NetMsg& msg);
+  /// Optional extra shared stage for this message on `node`'s NIC
+  /// (Myrinet SRAM staging). Return nullptr for none.
+  virtual Pipe* staging_pipe(int node_id, const NetMsg& msg);
+  /// Book-keeping hooks (outstanding-message tracking).
+  virtual void on_posted(const NetMsg& msg);
+  virtual void on_delivered(const NetMsg& msg);
+
+  Pipe& tx_pipe(int node_id) { return *tx_[static_cast<std::size_t>(node_id)]; }
+  Pipe& rx_pipe(int node_id) { return *rx_[static_cast<std::size_t>(node_id)]; }
+  Pipe& nic_proc(int node_id) {
+    return *nic_proc_[static_cast<std::size_t>(node_id)];
+  }
+
+ private:
+  struct MsgState {
+    NetMsg msg;
+    std::uint64_t packets_left_tx;  // through the sender NIC
+    std::uint64_t packets_left;     // through the whole path
+    bool first_packet = true;
+  };
+
+  sim::Task<void> sender_loop(int node_id);
+  sim::Task<void> packet_tail(std::uint64_t pkt,
+                              std::shared_ptr<MsgState> state);
+
+  sim::Engine* eng_;
+  std::vector<NodeHw*> nodes_;
+  std::unique_ptr<SwitchTopology> topo_;
+  NicConfig nic_;
+  std::vector<std::unique_ptr<Pipe>> tx_;
+  std::vector<std::unique_ptr<Pipe>> rx_;
+  std::vector<std::unique_ptr<Pipe>> nic_proc_;  // shared protocol processor
+  std::vector<std::unique_ptr<sim::Mailbox<NetMsg>>> sendq_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace mns::model

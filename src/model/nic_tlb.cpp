@@ -1,0 +1,45 @@
+#include "model/nic_tlb.hpp"
+
+namespace mns::model {
+
+void NicTlb::touch(std::uint64_t page, bool& missed) {
+  const auto it = map_.find(page);
+  if (it != map_.end()) {
+    ++hits_;
+    lru_.erase(it->second);
+    lru_.push_front(page);
+    it->second = lru_.begin();
+    return;
+  }
+  ++misses_;
+  missed = true;
+  while (map_.size() >= cfg_.entries && !lru_.empty()) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page);
+  map_.emplace(page, lru_.begin());
+}
+
+sim::Time NicTlb::access(std::uint64_t addr, std::uint64_t bytes) {
+  const std::uint64_t first = addr / cfg_.page_bytes;
+  const std::uint64_t last =
+      bytes == 0 ? first : (addr + bytes - 1) / cfg_.page_bytes;
+  sim::Time stall;
+  bool any_missed = false;
+  for (std::uint64_t page = first; page <= last; ++page) {
+    bool missed = false;
+    touch(page, missed);
+    if (missed) stall += cfg_.miss_cost;
+    any_missed = any_missed || missed;
+  }
+  if (any_missed) stall += cfg_.miss_cost_base;
+  return stall;
+}
+
+void NicTlb::clear() {
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace mns::model

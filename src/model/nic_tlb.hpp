@@ -1,0 +1,51 @@
+// NIC-side address translation model.
+//
+// The NIC's DMA engine works with bus addresses; translations for user
+// pages are cached on the NIC (an I/O TLB on the LANai, the on-board MMU
+// on Elan3). A message touching pages absent from the NIC table stalls
+// while translations are fetched/synchronized. This is the second
+// buffer-reuse effect (besides registration): it is why Quadrics — which
+// needs no registration at all — still shows a steep buffer-reuse penalty
+// in the paper's Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+
+namespace mns::model {
+
+struct NicTlbConfig {
+  std::uint64_t page_bytes;
+  std::size_t entries;        // capacity in pages
+  sim::Time miss_cost;        // per-page fetch/sync cost
+  sim::Time miss_cost_base;   // per-message cost when any page misses
+};
+
+class NicTlb {
+ public:
+  explicit NicTlb(const NicTlbConfig& cfg) : cfg_(cfg) {}
+
+  /// Touch all pages of [addr, addr+bytes); returns the stall time for
+  /// pages that were not cached (NIC-side, not host CPU time).
+  sim::Time access(std::uint64_t addr, std::uint64_t bytes);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void clear();
+
+  const NicTlbConfig& config() const { return cfg_; }
+
+ private:
+  void touch(std::uint64_t page, bool& missed);
+
+  NicTlbConfig cfg_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mns::model

@@ -1,0 +1,24 @@
+// Per-node host hardware: the I/O bus NICs DMA across and the host memory
+// copy model. One NodeHw is shared by every interconnect attached to the
+// node (in the paper's testbed all three NICs sit in the same machines).
+#pragma once
+
+#include "model/bus.hpp"
+#include "model/memcpy_model.hpp"
+
+namespace mns::model {
+
+class NodeHw {
+ public:
+  NodeHw(sim::Engine& eng, const BusConfig& bus_cfg, const MemcpyConfig& mem_cfg)
+      : bus_(eng, bus_cfg), mem_(mem_cfg) {}
+
+  HostBus& bus() { return bus_; }
+  const MemcpyModel& mem() const { return mem_; }
+
+ private:
+  HostBus bus_;
+  MemcpyModel mem_;
+};
+
+}  // namespace mns::model

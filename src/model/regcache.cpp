@@ -1,0 +1,56 @@
+#include "model/regcache.hpp"
+
+namespace mns::model {
+
+sim::Time RegistrationCache::register_cost(std::uint64_t bytes) const {
+  const std::uint64_t pages =
+      (bytes + cfg_.page_bytes - 1) / cfg_.page_bytes;
+  return cfg_.register_base +
+         cfg_.register_per_page * static_cast<std::int64_t>(pages);
+}
+
+sim::Time RegistrationCache::acquire(std::uint64_t addr, std::uint64_t bytes) {
+  const auto it = regions_.find(addr);
+  if (it != regions_.end() && it->second.bytes >= bytes) {
+    ++hits_;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(addr);
+    it->second.lru_pos = lru_.begin();
+    return sim::Time::zero();
+  }
+
+  ++misses_;
+  sim::Time cost;
+  if (it != regions_.end()) {
+    // Same base address but longer extent: re-register the region.
+    pinned_bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_pos);
+    regions_.erase(it);
+    cost += cfg_.deregister_cost;
+  }
+
+  // Evict least-recently-used regions until the new one fits.
+  while (pinned_bytes_ + bytes > cfg_.capacity_bytes && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    const auto vit = regions_.find(victim);
+    pinned_bytes_ -= vit->second.bytes;
+    regions_.erase(vit);
+    cost += cfg_.deregister_cost;
+    ++evictions_;
+  }
+
+  cost += register_cost(bytes);
+  lru_.push_front(addr);
+  regions_.emplace(addr, Region{bytes, lru_.begin()});
+  pinned_bytes_ += bytes;
+  return cost;
+}
+
+void RegistrationCache::clear() {
+  regions_.clear();
+  lru_.clear();
+  pinned_bytes_ = 0;
+}
+
+}  // namespace mns::model

@@ -1,0 +1,66 @@
+// Memory registration with a pin-down cache.
+//
+// InfiniBand (VAPI) and Myrinet (GM) require communication buffers to be
+// registered (pinned + translated) before the NIC may DMA them. Because
+// registration is expensive, MPI implementations keep registrations alive
+// and de-register lazily (Tezuka et al.'s pin-down cache). Whether an
+// application reuses buffers therefore decides whether the zero-copy path
+// pays the registration cost every time — the mechanism behind the paper's
+// Figs. 7 and 8.
+//
+// Buffers are identified by their (virtual address, length); the simulator
+// uses synthetic addresses, which is all the cache semantics need.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+
+namespace mns::model {
+
+struct RegCacheConfig {
+  sim::Time register_base;      // per-registration syscall/pin cost
+  sim::Time register_per_page;  // per-page translate+pin cost
+  sim::Time deregister_cost;    // eviction cost (lazy dereg)
+  std::uint64_t page_bytes;
+  std::uint64_t capacity_bytes;  // max pinned bytes kept in the cache
+};
+
+class RegistrationCache {
+ public:
+  explicit RegistrationCache(const RegCacheConfig& cfg) : cfg_(cfg) {}
+
+  /// Ensure [addr, addr+bytes) is registered. Returns the host CPU time
+  /// this costs (zero on a cache hit). The caller charges it to its Cpu.
+  sim::Time acquire(std::uint64_t addr, std::uint64_t bytes);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t pinned_bytes() const { return pinned_bytes_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Drop everything (e.g. between benchmark repetitions).
+  void clear();
+
+  const RegCacheConfig& config() const { return cfg_; }
+
+ private:
+  struct Region {
+    std::uint64_t bytes;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  sim::Time register_cost(std::uint64_t bytes) const;
+
+  RegCacheConfig cfg_;
+  std::unordered_map<std::uint64_t, Region> regions_;  // keyed by base addr
+  std::list<std::uint64_t> lru_;                       // front = most recent
+  std::uint64_t pinned_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace mns::model

@@ -1,0 +1,88 @@
+// Switch topologies.
+//
+// The paper's testbeds fit behind single crossbars (8-port InfiniScale /
+// Myrinet-2000 / 16-port Elite). To project beyond that — the scalability
+// question the paper's conclusion raises — we also model a two-level
+// fat tree: leaf crossbars of a given radix, fully connected to a spine
+// stage. Inter-leaf traffic crosses a shared per-leaf uplink and the
+// spine, so hot-spot and all-to-all patterns contend where a single
+// crossbar would not.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/switch.hpp"
+
+namespace mns::model {
+
+class SwitchTopology {
+ public:
+  virtual ~SwitchTopology() = default;
+  /// Move one packet from `src` node's link to `dst` node's link through
+  /// the switching stage(s).
+  virtual sim::Task<void> route(int src, int dst, std::uint64_t bytes) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Every node on one full crossbar (the paper's configuration).
+class SingleCrossbar final : public SwitchTopology {
+ public:
+  SingleCrossbar(sim::Engine& eng, const SwitchConfig& cfg)
+      : sw_(eng, cfg) {}
+
+  sim::Task<void> route(int /*src*/, int dst, std::uint64_t bytes) override {
+    return sw_.forward(static_cast<std::size_t>(dst), bytes);
+  }
+  const char* name() const override { return "crossbar"; }
+
+ private:
+  CrossbarSwitch sw_;
+};
+
+/// Two-level fat tree: nodes in groups of `leaf_radix` behind leaf
+/// crossbars; one aggregated uplink/downlink pipe per leaf to the spine
+/// crossbar. Same-leaf traffic never leaves the leaf.
+class FatTree final : public SwitchTopology {
+ public:
+  FatTree(sim::Engine& eng, const SwitchConfig& cfg, std::size_t nodes,
+          std::size_t leaf_radix)
+      : leaf_radix_(leaf_radix) {
+    const std::size_t leaves = (nodes + leaf_radix - 1) / leaf_radix;
+    for (std::size_t l = 0; l < leaves; ++l) {
+      SwitchConfig leaf_cfg = cfg;
+      leaf_cfg.ports = leaf_radix;
+      leaves_.push_back(std::make_unique<CrossbarSwitch>(eng, leaf_cfg));
+      // Uplinks run at link rate: an oversubscription factor of
+      // leaf_radix : 1 for traffic leaving the leaf.
+      up_.push_back(std::make_unique<Pipe>(eng, cfg.port_bytes_per_second,
+                                           cfg.forward_latency));
+    }
+    SwitchConfig spine_cfg = cfg;
+    spine_cfg.ports = leaves;
+    spine_ = std::make_unique<CrossbarSwitch>(eng, spine_cfg);
+  }
+
+  sim::Task<void> route(int src, int dst, std::uint64_t bytes) override {
+    const std::size_t src_leaf = static_cast<std::size_t>(src) / leaf_radix_;
+    const std::size_t dst_leaf = static_cast<std::size_t>(dst) / leaf_radix_;
+    const std::size_t dst_port = static_cast<std::size_t>(dst) % leaf_radix_;
+    if (src_leaf != dst_leaf) {
+      co_await up_[src_leaf]->transfer(bytes);          // leaf -> spine
+      co_await spine_->forward(dst_leaf, bytes);        // spine crossbar
+    }
+    co_await leaves_[dst_leaf]->forward(dst_port, bytes);  // leaf -> node
+  }
+  const char* name() const override { return "fat-tree"; }
+
+  std::size_t leaf_radix() const { return leaf_radix_; }
+
+ private:
+  std::size_t leaf_radix_;
+  std::vector<std::unique_ptr<CrossbarSwitch>> leaves_;
+  std::vector<std::unique_ptr<Pipe>> up_;
+  std::unique_ptr<CrossbarSwitch> spine_;
+};
+
+}  // namespace mns::model

@@ -1,0 +1,32 @@
+// Factories assembling the three MPI devices with their calibrated
+// channel parameters (thresholds and host overheads from the paper's
+// micro-benchmarks, Section 3).
+#pragma once
+
+#include <memory>
+
+#include "elan/elan_fabric.hpp"
+#include "gm/gm_fabric.hpp"
+#include "ib/ib_fabric.hpp"
+#include "mpi/ch_elan.hpp"
+#include "mpi/ch_rdv.hpp"
+
+namespace mns::mpi {
+
+/// MVAPICH-style device: eager below 2 KB over the RDMA ring, rendezvous
+/// with registration above; shared memory intra-node below 16 KB, NIC
+/// loopback above.
+RdvChannelConfig default_ch_ib_config();
+
+/// MPICH-GM-style device: copy-eager below 16 KB, directed-send rendezvous
+/// above; shared memory for all intra-node sizes.
+RdvChannelConfig default_ch_gm_config();
+
+std::unique_ptr<Device> make_ch_ib(Mpi& mpi, ib::IbFabric& fabric,
+                                   const RdvChannelConfig& cfg);
+std::unique_ptr<Device> make_ch_gm(Mpi& mpi, gm::GmFabric& fabric,
+                                   const RdvChannelConfig& cfg);
+std::unique_ptr<Device> make_ch_elan(Mpi& mpi, elan::ElanFabric& fabric,
+                                     const ElanChannelConfig& cfg);
+
+}  // namespace mns::mpi

@@ -1,0 +1,335 @@
+#include "mpi/ch_rdv.hpp"
+
+#include <cstring>
+
+namespace mns::mpi {
+
+namespace {
+Status status_of(const Envelope& env) {
+  return Status{env.src, env.tag, env.bytes};
+}
+}  // namespace
+
+std::function<void(std::function<void()>)> RdvChannel::host_gate(
+    Proc& proc) const {
+  if (cfg_.nic_progress) {
+    return [](std::function<void()> fn) { fn(); };
+  }
+  return [&proc](std::function<void()> fn) {
+    proc.host_action(std::move(fn));
+  };
+}
+
+sim::Time RdvChannel::match_scan_cost(Proc& rp) const {
+  // MPICH walks the posted queue linearly; entries beyond the first cost.
+  const std::size_t posted = rp.matcher().posted_count();
+  return posted > 1
+             ? cfg_.o_match_entry * static_cast<std::int64_t>(posted - 1)
+             : sim::Time::zero();
+}
+
+RdvChannel::RdvChannel(Mpi& mpi, model::NetFabric& fabric,
+                       RdvChannelConfig cfg,
+                       std::function<model::RegistrationCache&(int)> regcache,
+                       std::function<std::uint64_t(int)> memory)
+    : mpi_(&mpi),
+      fabric_(&fabric),
+      cfg_(std::move(cfg)),
+      regcache_(std::move(regcache)),
+      memory_(std::move(memory)) {
+  shm_.reserve(fabric_->node_count());
+  for (std::size_t n = 0; n < fabric_->node_count(); ++n) {
+    shm_.push_back(
+        std::make_unique<shm::ShmDomain>(fabric_->engine(), cfg_.shm));
+  }
+}
+
+std::uint64_t RdvChannel::memory_bytes(int node) const {
+  return memory_(node);
+}
+
+void RdvChannel::hw_broadcast(Rank root, std::uint64_t bytes,
+                              std::uint64_t /*addr*/,
+                              std::function<void()> done) {
+  fabric_->post_switch_broadcast(mpi_->node_of(root), bytes,
+                                 cfg_.hw_bcast_overhead, std::move(done));
+}
+
+std::shared_ptr<std::vector<std::byte>> RdvChannel::capture(
+    const View& v) const {
+  auto out = std::make_shared<std::vector<std::byte>>();
+  if (!v.synthetic() && v.bytes() > 0) {
+    out->assign(v.data(), v.data() + v.bytes());
+  }
+  return out;
+}
+
+sim::Task<void> RdvChannel::start_send(SendOp op) {
+  auto& sp = mpi_->proc(op.env.src);
+  co_await sp.cpu().busy(cfg_.o_send);
+  const bool intra = mpi_->same_node(op.env.src, op.env.dst);
+  if (op.synchronous) {
+    // MPI_Ssend: the rendezvous handshake IS the synchronization.
+    co_await send_rendezvous(std::move(op));
+  } else if (intra && op.env.bytes < cfg_.smp_threshold) {
+    co_await send_shm(std::move(op));
+  } else if (op.env.bytes < cfg_.eager_threshold) {
+    co_await send_eager(std::move(op));  // loopback when intra
+  } else {
+    co_await send_rendezvous(std::move(op));
+  }
+}
+
+// --- shared memory path ---------------------------------------------------
+
+sim::Task<void> RdvChannel::send_shm(SendOp op) {
+  const int node = mpi_->node_of(op.env.src);
+  auto payload = capture(op.buf);
+  const Envelope env = op.env;
+  auto req = op.req;
+
+  shm::ShmMsg m;
+  m.src_rank = env.src;
+  m.dst_rank = env.dst;
+  m.bytes = env.bytes;
+  m.remote_arrival = [this, env, payload] { on_shm_arrival(env, payload); };
+  co_await shm_[static_cast<std::size_t>(node)]->send_copy(std::move(m));
+  req->complete(status_of(env));  // buffered: sender is done after copy-in
+}
+
+void RdvChannel::on_shm_arrival(
+    Envelope env, std::shared_ptr<std::vector<std::byte>> payload) {
+  auto& rp = mpi_->proc(env.dst);
+  auto& dom = *shm_[static_cast<std::size_t>(mpi_->node_of(env.dst))];
+  const sim::Time cost = dom.recv_cost(env.bytes) + match_scan_cost(rp);
+  host_gate(rp)([this, env, payload, cost, &rp] {
+    if (auto pr = rp.matcher().match_arrival(env)) {
+      deliver_buffered(env, payload, std::move(*pr), cost);
+    } else {
+      rp.matcher().add_unexpected(
+          {env, [this, env, payload, cost](PostedRecv pr) -> sim::Task<void> {
+             auto& rp2 = mpi_->proc(env.dst);
+             co_await rp2.cpu().busy(cost);
+             if (!pr.buf.synthetic() && !payload->empty()) {
+               std::memcpy(pr.buf.data(), payload->data(),
+                           static_cast<std::size_t>(
+                               std::min<std::uint64_t>(env.bytes,
+                                                       pr.buf.bytes())));
+             }
+             pr.req->complete(status_of(env));
+           }});
+    }
+  });
+}
+
+// --- eager path -------------------------------------------------------------
+
+sim::Task<void> RdvChannel::send_eager(SendOp op) {
+  auto& sp = mpi_->proc(op.env.src);
+  const int snode = mpi_->node_of(op.env.src);
+  const int dnode = mpi_->node_of(op.env.dst);
+  // Copy into pre-registered staging: sender CPU pays the memcpy.
+  co_await sp.cpu().busy(
+      fabric_->node(snode).mem().copy_time(op.env.bytes));
+  auto payload = capture(op.buf);
+  const Envelope env = op.env;
+  auto req = op.req;
+
+  model::NetMsg m;
+  m.src = snode;
+  m.dst = dnode;
+  m.bytes = cfg_.ctrl_bytes + env.bytes;
+  m.complete_on_delivery = false;
+  m.local_complete = [req, env] { req->complete(status_of(env)); };
+  m.remote_arrival = [this, env, payload] { on_eager_arrival(env, payload); };
+  fabric_->post(std::move(m));
+}
+
+void RdvChannel::on_eager_arrival(
+    Envelope env, std::shared_ptr<std::vector<std::byte>> payload) {
+  auto& rp = mpi_->proc(env.dst);
+  const int dnode = mpi_->node_of(env.dst);
+  const sim::Time cost = cfg_.o_recv +
+                         fabric_->node(dnode).mem().copy_time(env.bytes) +
+                         match_scan_cost(rp);
+  host_gate(rp)([this, env, payload, cost, &rp] {
+    if (auto pr = rp.matcher().match_arrival(env)) {
+      deliver_buffered(env, payload, std::move(*pr), cost);
+    } else {
+      rp.matcher().add_unexpected(
+          {env, [this, env, payload, cost](PostedRecv pr) -> sim::Task<void> {
+             auto& rp2 = mpi_->proc(env.dst);
+             co_await rp2.cpu().busy(cost);
+             if (!pr.buf.synthetic() && !payload->empty()) {
+               std::memcpy(pr.buf.data(), payload->data(),
+                           static_cast<std::size_t>(
+                               std::min<std::uint64_t>(env.bytes,
+                                                       pr.buf.bytes())));
+             }
+             pr.req->complete(status_of(env));
+           }});
+    }
+  });
+}
+
+void RdvChannel::deliver_buffered(
+    const Envelope& env, std::shared_ptr<std::vector<std::byte>> payload,
+    PostedRecv pr, sim::Time cost) {
+  auto& rp = mpi_->proc(env.dst);
+  rp.cpu().accrue_overhead(cost);
+  auto shared_pr = std::make_shared<PostedRecv>(std::move(pr));
+  // Completion processing runs on the receiving host CPU: concurrent
+  // arrivals serialize through the rank's host-work queue.
+  mpi_->engine().spawn(
+      [](Proc& rp, sim::Time cost, Envelope env,
+         std::shared_ptr<std::vector<std::byte>> payload,
+         std::shared_ptr<PostedRecv> pr) -> sim::Task<void> {
+        co_await rp.host_work().occupy(cost);
+        if (!pr->buf.synthetic() && !payload->empty()) {
+          std::memcpy(pr->buf.data(), payload->data(),
+                      static_cast<std::size_t>(std::min<std::uint64_t>(
+                          env.bytes, pr->buf.bytes())));
+        }
+        pr->req->complete(status_of(env));
+      }(rp, cost, env, payload, shared_pr),
+      /*daemon=*/true);
+}
+
+// --- rendezvous path --------------------------------------------------------
+
+sim::Task<void> RdvChannel::send_rendezvous(SendOp op) {
+  auto& sp = mpi_->proc(op.env.src);
+  const int snode = mpi_->node_of(op.env.src);
+  if (cfg_.use_regcache) {
+    const sim::Time reg =
+        regcache_(snode).acquire(op.buf.addr(), op.env.bytes);
+    if (reg > sim::Time::zero()) co_await sp.cpu().busy(reg);
+  }
+
+  auto st = std::make_shared<RdvState>();
+  st->send = std::move(op);
+
+  model::NetMsg rts;
+  rts.src = snode;
+  rts.dst = mpi_->node_of(st->send.env.dst);
+  rts.bytes = cfg_.ctrl_bytes;
+  rts.remote_arrival = [this, st] { on_rts(st); };
+  fabric_->post(std::move(rts));
+}
+
+void RdvChannel::on_rts(std::shared_ptr<RdvState> st) {
+  auto& rp = mpi_->proc(st->send.env.dst);
+  host_gate(rp)([this, st, &rp] {
+    rp.cpu().accrue_overhead(match_scan_cost(rp));
+    if (auto pr = rp.matcher().match_arrival(st->send.env)) {
+      st->recv = std::move(*pr);
+      st->recv_matched = true;
+      issue_cts(st);
+    } else {
+      rp.matcher().add_unexpected(
+          {st->send.env, [this, st](PostedRecv pr) -> sim::Task<void> {
+             st->recv = std::move(pr);
+             st->recv_matched = true;
+             auto& rp2 = mpi_->proc(st->send.env.dst);
+             const int dnode = mpi_->node_of(st->send.env.dst);
+             sim::Time cost = cfg_.o_ctrl;
+             if (cfg_.use_regcache) {
+               cost += regcache_(dnode).acquire(st->recv.buf.addr(),
+                                                st->send.env.bytes);
+             }
+             co_await rp2.cpu().busy(cost);
+             // CTS back to the sender.
+             model::NetMsg cts;
+             cts.src = dnode;
+             cts.dst = mpi_->node_of(st->send.env.src);
+             cts.bytes = cfg_.ctrl_bytes;
+             cts.remote_arrival = [this, st] { on_cts(st); };
+             fabric_->post(std::move(cts));
+           }});
+    }
+  });
+}
+
+void RdvChannel::issue_cts(std::shared_ptr<RdvState> st) {
+  auto& rp = mpi_->proc(st->send.env.dst);
+  const int dnode = mpi_->node_of(st->send.env.dst);
+  sim::Time cost = cfg_.o_ctrl;
+  if (cfg_.use_regcache) {
+    cost +=
+        regcache_(dnode).acquire(st->recv.buf.addr(), st->send.env.bytes);
+  }
+  rp.cpu().accrue_overhead(cost);
+  mpi_->engine().spawn(
+      [](RdvChannel& self, Proc& rp, sim::Time cost,
+         std::shared_ptr<RdvState> st, int dnode) -> sim::Task<void> {
+        co_await rp.host_work().occupy(cost);
+        model::NetMsg cts;
+        cts.src = dnode;
+        cts.dst = self.mpi_->node_of(st->send.env.src);
+        cts.bytes = self.cfg_.ctrl_bytes;
+        cts.remote_arrival = [&self, st] { self.on_cts(st); };
+        self.fabric_->post(std::move(cts));
+      }(*this, rp, cost, st, dnode),
+      /*daemon=*/true);
+}
+
+void RdvChannel::on_cts(std::shared_ptr<RdvState> st) {
+  auto& sp = mpi_->proc(st->send.env.src);
+  host_gate(sp)([this, st, &sp] {
+    sp.cpu().accrue_overhead(cfg_.o_ctrl);
+    // CTS processing occupies the sender host before the data goes out;
+    // with many rendezvous sends in flight these serialize — part of why
+    // the paper's Fig. 2 bandwidth dips at the eager->rendezvous switch.
+    mpi_->engine().spawn(
+        [](RdvChannel& self, Proc& sp,
+           std::shared_ptr<RdvState> st) -> sim::Task<void> {
+          co_await sp.host_work().occupy(self.cfg_.o_ctrl);
+          self.post_rendezvous_data(st);
+        }(*this, sp, st),
+        /*daemon=*/true);
+  });
+}
+
+void RdvChannel::post_rendezvous_data(std::shared_ptr<RdvState> st) {
+  const Envelope env = st->send.env;
+
+  model::NetMsg data;
+  data.src = mpi_->node_of(env.src);
+  data.dst = mpi_->node_of(env.dst);
+  data.bytes = cfg_.ctrl_bytes + env.bytes;
+  data.src_addr = st->send.buf.addr();
+  data.dst_addr = st->recv.buf.addr();
+  data.complete_on_delivery = true;  // RDMA/directed-send ack semantics
+  data.local_complete = [this, st, env] {
+    // The RDMA write has completed at the sender: the send request is
+    // done, and a FIN control message tells the receiver the data is in
+    // place (RDMA writes deliver no receiver-side completion by
+    // themselves). The FIN trails the data on the same FIFO path.
+    st->send.req->complete(status_of(env));
+    model::NetMsg fin;
+    fin.src = mpi_->node_of(env.src);
+    fin.dst = mpi_->node_of(env.dst);
+    fin.bytes = cfg_.ctrl_bytes;
+    fin.remote_arrival = [this, st, env] {
+      auto& rp = mpi_->proc(env.dst);
+      rp.cpu().accrue_overhead(cfg_.o_recv);
+      mpi_->engine().spawn(
+          [](RdvChannel& self, Proc& rp,
+             std::shared_ptr<RdvState> st, Envelope env) -> sim::Task<void> {
+            co_await rp.host_work().occupy(self.cfg_.o_recv);
+            st->recv.req->complete(status_of(env));
+          }(*this, rp, st, env),
+          /*daemon=*/true);
+    };
+    fabric_->post(std::move(fin));
+  };
+  data.remote_arrival = [st, env] {
+    // Zero-copy delivery: payload lands directly in the receive buffer
+    // (the sender has not resumed yet, so its view is intact).
+    copy_payload(st->send.buf, st->recv.buf,
+                 std::min<std::uint64_t>(env.bytes, st->recv.buf.bytes()));
+  };
+  fabric_->post(std::move(data));
+}
+
+}  // namespace mns::mpi

@@ -1,0 +1,121 @@
+// The eager/rendezvous channel device used by MPI-over-InfiniBand
+// (MVAPICH-style) and MPI-over-GM (MPICH-GM-style). The two differ only in
+// parameters and fabric:
+//
+//   eager  (bytes < eager_threshold): payload is copied through
+//          pre-registered staging at both ends; the send completes when
+//          the data has left the sender NIC.
+//   rendezvous (>= threshold): the user buffer is registered through the
+//          pin-down cache, an RTS control message is sent, the receiver
+//          matches + registers its buffer + returns a CTS, and the data
+//          moves zero-copy (RDMA write / directed send). Send completes on
+//          delivery (the transport-level ack).
+//
+// Crucially, the RTS and CTS handlers need the HOST: if the rank is
+// computing outside MPI when they arrive, handling is deferred to its next
+// MPI call (Proc::host_action). That single mechanism produces the paper's
+// Fig. 6 overlap plateau for InfiniBand and Myrinet.
+//
+// Intra-node messages below `smp_threshold` ride the shared-memory domain;
+// at or above it they use the fabric's NIC loopback path (what MVAPICH
+// does; MPICH-GM sets the threshold to infinity and uses shm for
+// everything).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/netfabric.hpp"
+#include "model/regcache.hpp"
+#include "mpi/device.hpp"
+#include "mpi/mpi.hpp"
+#include "shm/shm_domain.hpp"
+
+namespace mns::mpi {
+
+struct RdvChannelConfig {
+  std::string name;
+  std::uint64_t eager_threshold;  // below: eager; at/above: rendezvous
+  std::uint64_t smp_threshold;    // intra-node: below -> shm, else loopback
+  sim::Time o_send;               // host CPU per send
+  sim::Time o_recv;               // host CPU per receive completion
+  sim::Time o_ctrl;               // host CPU handling RTS/CTS
+  sim::Time o_match_entry;        // host cost per extra posted-queue entry
+                                  // scanned while matching an arrival
+  bool allreduce_recursive_doubling = false;  // MPICH >= 1.2.5 algorithm
+  /// Ablation: pretend the NIC (or a progress thread) runs the protocol
+  /// handlers, i.e. never defer them while the host computes.
+  bool nic_progress = false;
+  std::uint64_t ctrl_bytes;       // RTS/CTS/header wire size
+  bool use_regcache;              // registration required (IB and GM: yes)
+  /// Extension (the paper's Section 3.7 direction, after Kini et al.):
+  /// barrier/broadcast over InfiniBand hardware multicast instead of
+  /// point-to-point trees. Needs a reliability envelope on top of the
+  /// unreliable multicast, modelled as a fixed software overhead.
+  bool hw_multicast = false;
+  sim::Time hw_bcast_overhead = sim::Time::zero();
+  shm::ShmConfig shm;
+};
+
+class RdvChannel final : public Device {
+ public:
+  RdvChannel(Mpi& mpi, model::NetFabric& fabric, RdvChannelConfig cfg,
+             std::function<model::RegistrationCache&(int)> regcache,
+             std::function<std::uint64_t(int)> memory);
+
+  sim::Task<void> start_send(SendOp op) override;
+  bool has_hw_broadcast() const override { return cfg_.hw_multicast; }
+  void hw_broadcast(Rank root, std::uint64_t bytes, std::uint64_t addr,
+                    std::function<void()> done) override;
+  bool allreduce_recursive_doubling() const override {
+    return cfg_.allreduce_recursive_doubling;
+  }
+  std::uint64_t memory_bytes(int node) const override;
+  const char* name() const override { return cfg_.name.c_str(); }
+
+  const RdvChannelConfig& config() const { return cfg_; }
+
+ private:
+  struct RdvState {
+    SendOp send;
+    PostedRecv recv;
+    bool recv_matched = false;
+  };
+
+  sim::Task<void> send_shm(SendOp op);
+  sim::Task<void> send_eager(SendOp op);
+  sim::Task<void> send_rendezvous(SendOp op);
+
+  // Receiver-side handlers (event context, host-gated).
+  void on_eager_arrival(Envelope env,
+                        std::shared_ptr<std::vector<std::byte>> payload);
+  void on_shm_arrival(Envelope env,
+                      std::shared_ptr<std::vector<std::byte>> payload);
+  void on_rts(std::shared_ptr<RdvState> st);
+  void on_cts(std::shared_ptr<RdvState> st);
+  void post_rendezvous_data(std::shared_ptr<RdvState> st);
+
+  /// Receiver matched (event context): deliver buffered payload after the
+  /// receive-side cost and complete the request.
+  void deliver_buffered(const Envelope& env,
+                        std::shared_ptr<std::vector<std::byte>> payload,
+                        PostedRecv pr, sim::Time extra_cost);
+  /// Send the CTS for a matched rendezvous (event context at receiver).
+  void issue_cts(std::shared_ptr<RdvState> st);
+
+  std::shared_ptr<std::vector<std::byte>> capture(const View& v) const;
+  sim::Time match_scan_cost(Proc& rp) const;
+  /// Runs protocol actions directly (nic_progress) or host-gated.
+  std::function<void(std::function<void()>)> host_gate(Proc& proc) const;
+
+  Mpi* mpi_;
+  model::NetFabric* fabric_;
+  RdvChannelConfig cfg_;
+  std::function<model::RegistrationCache&(int)> regcache_;
+  std::function<std::uint64_t(int)> memory_;
+  std::vector<std::unique_ptr<shm::ShmDomain>> shm_;  // per node
+};
+
+}  // namespace mns::mpi

@@ -1,0 +1,83 @@
+// Per-rank receive matching: posted-receive queue + unexpected-message
+// queue, with MPI's non-overtaking semantics (the fabrics deliver in post
+// order per (src,dst) pair, and both queues here are searched in FIFO
+// order, so matching is standard-conformant).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "mpi/request.hpp"
+#include "mpi/types.hpp"
+#include "sim/task.hpp"
+
+namespace mns::mpi {
+
+/// A receive the application has posted and the device must fill.
+struct PostedRecv {
+  Rank want_src = kAnySource;
+  Tag want_tag = kAnyTag;
+  View buf;
+  std::shared_ptr<RequestState> req;
+};
+
+/// A message that arrived before a matching receive was posted. `claim`
+/// is the device-specific continuation run (in the receiving rank's
+/// context) when a receive finally matches: it copies buffered payload
+/// out, or kicks the rendezvous CTS, and ultimately completes the request.
+struct Unexpected {
+  Envelope env;
+  std::function<sim::Task<void>(PostedRecv)> claim;
+};
+
+class Matcher {
+ public:
+  /// Device side: an envelope arrived; returns the matching posted
+  /// receive, or nullopt after queueing must be handled by the caller.
+  std::unique_ptr<PostedRecv> match_arrival(const Envelope& env) {
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if (matches(it->want_src, it->want_tag, env)) {
+        auto out = std::make_unique<PostedRecv>(std::move(*it));
+        posted_.erase(it);
+        return out;
+      }
+    }
+    return nullptr;
+  }
+
+  void add_unexpected(Unexpected u) { unexpected_.push_back(std::move(u)); }
+
+  /// Application side: try to satisfy a new receive from the unexpected
+  /// queue; otherwise post it.
+  std::unique_ptr<Unexpected> match_posted(Rank src, Tag tag) {
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+      if (matches(src, tag, it->env)) {
+        auto out = std::make_unique<Unexpected>(std::move(*it));
+        unexpected_.erase(it);
+        return out;
+      }
+    }
+    return nullptr;
+  }
+
+  void post(PostedRecv r) { posted_.push_back(std::move(r)); }
+
+  /// Probe support: find a matching unexpected message without claiming
+  /// it. Returns nullptr when none has arrived yet.
+  const Unexpected* peek_unexpected(Rank src, Tag tag) const {
+    for (const auto& u : unexpected_) {
+      if (matches(src, tag, u.env)) return &u;
+    }
+    return nullptr;
+  }
+
+  std::size_t posted_count() const { return posted_.size(); }
+  std::size_t unexpected_count() const { return unexpected_.size(); }
+
+ private:
+  std::deque<PostedRecv> posted_;
+  std::deque<Unexpected> unexpected_;
+};
+
+}  // namespace mns::mpi

@@ -1,0 +1,109 @@
+// The MPI "job": per-rank processes, the device, the profiler, and the
+// rank-to-node topology. One Mpi object per simulated application run.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "mpi/device.hpp"
+#include "mpi/proc.hpp"
+#include "prof/recorder.hpp"
+#include "prof/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace mns::mpi {
+
+struct Topology {
+  /// rank -> node index. Slot (position within node) is derived.
+  std::vector<int> rank_node;
+
+  static Topology block(std::size_t nodes, int ppn) {
+    // The paper's "block" mapping: ranks 0..ppn-1 on node 0, etc.
+    Topology t;
+    t.rank_node.reserve(nodes * static_cast<std::size_t>(ppn));
+    for (std::size_t n = 0; n < nodes; ++n) {
+      for (int s = 0; s < ppn; ++s) {
+        t.rank_node.push_back(static_cast<int>(n));
+      }
+    }
+    return t;
+  }
+};
+
+class Mpi {
+ public:
+  Mpi(sim::Engine& eng, Topology topo)
+      : eng_(&eng), topo_(std::move(topo)),
+        recorder_(topo_.rank_node.size()) {
+    std::vector<int> slot_counter(
+        topo_.rank_node.empty()
+            ? 0
+            : static_cast<std::size_t>(
+                  *std::max_element(topo_.rank_node.begin(),
+                                    topo_.rank_node.end()) +
+                  1),
+        0);
+    procs_.reserve(topo_.rank_node.size());
+    for (std::size_t r = 0; r < topo_.rank_node.size(); ++r) {
+      const int node = topo_.rank_node[r];
+      procs_.push_back(std::make_unique<Proc>(
+          eng, static_cast<Rank>(r), node,
+          slot_counter[static_cast<std::size_t>(node)]++));
+    }
+  }
+
+  void set_device(std::unique_ptr<Device> dev) { device_ = std::move(dev); }
+
+  sim::Engine& engine() const { return *eng_; }
+  Device& device() const {
+    if (!device_) throw std::logic_error("Mpi: no device installed");
+    return *device_;
+  }
+
+  std::size_t size() const { return procs_.size(); }
+  Proc& proc(Rank r) { return *procs_.at(static_cast<std::size_t>(r)); }
+  int node_of(Rank r) const {
+    return topo_.rank_node.at(static_cast<std::size_t>(r));
+  }
+  bool same_node(Rank a, Rank b) const { return node_of(a) == node_of(b); }
+
+  prof::Recorder& recorder() { return recorder_; }
+
+  /// Optional execution tracer (timeline recording); null disables.
+  void set_tracer(prof::Tracer* t) { tracer_ = t; }
+  prof::Tracer* tracer() const { return tracer_; }
+
+  /// Collective-coordination slot (used for the Elan hardware-broadcast
+  /// fast path): every rank arrives at collective #seq; the root's
+  /// broadcast completion releases them all, and the payload view lets
+  /// non-roots copy real broadcast data out.
+  struct CollSlot {
+    explicit CollSlot(sim::Engine& e) : trig(e) {}
+    sim::Trigger trig;
+    View payload;
+    int arrived = 0;
+  };
+
+  CollSlot& collective_slot(std::uint64_t seq) {
+    auto it = slots_.find(seq);
+    if (it == slots_.end()) {
+      it = slots_.emplace(seq, std::make_unique<CollSlot>(*eng_)).first;
+    }
+    return *it->second;
+  }
+  void drop_collective_slot(std::uint64_t seq) { slots_.erase(seq); }
+
+ private:
+  sim::Engine* eng_;
+  Topology topo_;
+  prof::Recorder recorder_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::unique_ptr<Device> device_;
+  prof::Tracer* tracer_ = nullptr;
+  std::unordered_map<std::uint64_t, std::unique_ptr<CollSlot>> slots_;
+};
+
+}  // namespace mns::mpi

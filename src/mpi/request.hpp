@@ -1,0 +1,52 @@
+// Non-blocking request handles.
+#pragma once
+
+#include <memory>
+
+#include "mpi/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace mns::mpi {
+
+struct RequestState {
+  explicit RequestState(sim::Engine& eng) : trig(eng) {}
+
+  void complete(const Status& s) {
+    status = s;
+    done = true;
+    trig.fire();
+  }
+
+  bool done = false;
+  Status status{};
+  sim::Trigger trig;
+};
+
+/// Shared handle; copyable like an MPI_Request. A default-constructed
+/// Request is the "null request": already complete with an empty Status.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<RequestState> st) : st_(std::move(st)) {}
+
+  bool valid() const { return st_ != nullptr; }
+  bool done() const { return !st_ || st_->done; }
+  const Status& status() const {
+    static const Status kEmpty{};
+    return st_ ? st_->status : kEmpty;
+  }
+
+  /// Awaitable completion; resolves immediately if already done.
+  sim::Task<Status> await_done() const {
+    if (st_ && !st_->done) co_await st_->trig.wait();
+    co_return st_ ? st_->status : Status{};
+  }
+
+  RequestState* state() const { return st_.get(); }
+
+ private:
+  std::shared_ptr<RequestState> st_;
+};
+
+}  // namespace mns::mpi

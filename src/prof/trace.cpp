@@ -1,0 +1,71 @@
+#include "prof/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace mns::prof {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kSend: return "send";
+    case EventKind::kRecv: return "recv";
+    case EventKind::kWait: return "wait";
+    case EventKind::kCollective: return "collective";
+    case EventKind::kCompute: return "compute";
+  }
+  return "?";
+}
+
+void Tracer::write_csv(std::ostream& os) const {
+  os << "t_start,t_end,rank,kind,op,peer,bytes\n";
+  for (const auto& ev : events_) {
+    os << ev.t_start << ',' << ev.t_end << ',' << ev.rank << ','
+       << event_kind_name(ev.kind) << ',' << ev.op << ',' << ev.peer << ','
+       << ev.bytes << '\n';
+  }
+}
+
+std::vector<std::vector<std::uint64_t>> Tracer::comm_matrix(
+    int ranks) const {
+  std::vector<std::vector<std::uint64_t>> m(
+      static_cast<std::size_t>(ranks),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(ranks), 0));
+  for (const auto& ev : events_) {
+    if (ev.kind == EventKind::kSend && ev.peer >= 0 && ev.peer < ranks &&
+        ev.rank >= 0 && ev.rank < ranks) {
+      m[static_cast<std::size_t>(ev.rank)]
+       [static_cast<std::size_t>(ev.peer)] += ev.bytes;
+    }
+  }
+  return m;
+}
+
+std::vector<Tracer::Breakdown> Tracer::breakdown(int ranks) const {
+  std::vector<Breakdown> out(static_cast<std::size_t>(ranks));
+  std::vector<double> first(static_cast<std::size_t>(ranks), -1.0);
+  std::vector<double> last(static_cast<std::size_t>(ranks), 0.0);
+  for (const auto& ev : events_) {
+    if (ev.rank < 0 || ev.rank >= ranks) continue;
+    auto& b = out[static_cast<std::size_t>(ev.rank)];
+    const double dur = ev.t_end - ev.t_start;
+    if (ev.kind == EventKind::kCompute) {
+      b.compute_s += dur;
+    } else {
+      b.mpi_s += dur;
+    }
+    auto& f = first[static_cast<std::size_t>(ev.rank)];
+    if (f < 0 || ev.t_start < f) f = ev.t_start;
+    last[static_cast<std::size_t>(ev.rank)] =
+        std::max(last[static_cast<std::size_t>(ev.rank)], ev.t_end);
+  }
+  for (int r = 0; r < ranks; ++r) {
+    out[static_cast<std::size_t>(r)].total_s =
+        first[static_cast<std::size_t>(r)] < 0
+            ? 0
+            : last[static_cast<std::size_t>(r)] -
+                  first[static_cast<std::size_t>(r)];
+  }
+  return out;
+}
+
+}  // namespace mns::prof

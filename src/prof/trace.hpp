@@ -1,0 +1,67 @@
+// Execution tracing.
+//
+// Optional per-call timeline recording (what the paper did with the MPICH
+// logging interface before aggregating). Each MPI operation becomes one
+// event with simulated start/end times; analyses derive the
+// rank-pair communication matrix and per-rank time breakdown
+// (compute / MPI / idle), and the raw timeline exports as CSV for
+// plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mns::prof {
+
+enum class EventKind : std::uint8_t {
+  kSend,
+  kRecv,
+  kWait,
+  kCollective,
+  kCompute,
+};
+
+const char* event_kind_name(EventKind k);
+
+struct TraceEvent {
+  double t_start = 0;  // simulated seconds
+  double t_end = 0;
+  int rank = 0;
+  EventKind kind = EventKind::kSend;
+  int peer = -1;             // point-to-point partner (-1: n/a)
+  std::uint64_t bytes = 0;
+  std::string op;            // "Send", "Allreduce", ...
+};
+
+class Tracer {
+ public:
+  void record(TraceEvent ev) { events_.push_back(std::move(ev)); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// CSV timeline: t_start,t_end,rank,kind,op,peer,bytes.
+  void write_csv(std::ostream& os) const;
+
+  /// bytes sent from rank i to rank j (point-to-point events only).
+  std::vector<std::vector<std::uint64_t>> comm_matrix(int ranks) const;
+
+  struct Breakdown {
+    double compute_s = 0;
+    double mpi_s = 0;   // time inside Send/Recv/Wait/Collective events
+    double total_s = 0; // first event start to last event end
+    double idle_s() const {
+      const double busy = compute_s + mpi_s;
+      return total_s > busy ? total_s - busy : 0.0;
+    }
+  };
+  /// Per-rank time decomposition over the traced window.
+  std::vector<Breakdown> breakdown(int ranks) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mns::prof

@@ -1,0 +1,127 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace mns::sim {
+
+// Root coroutine wrapper: owns the process Task, reports completion and
+// errors to the engine. On completion the engine destroys the frame from
+// the final-suspend point, so finished processes cost nothing.
+struct Engine::Root {
+  struct promise_type {
+    Engine* eng = nullptr;
+    std::size_t root_index = 0;  // position in Engine::roots_ for O(1) retire
+    bool daemon = false;
+    Root get_return_object() {
+      return Root{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        // The frame is suspended at its final point: destroying it here is
+        // well-defined and control returns to the engine's event loop.
+        h.promise().eng->retire(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() {
+      eng->process_failed(std::current_exception());
+    }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+namespace {
+Engine::Root make_root(Task<> t) { co_await t; }
+}  // namespace
+
+Engine::~Engine() {
+  for (auto h : roots_) {
+    if (h) h.destroy();
+  }
+}
+
+void Engine::after(Time delay, std::function<void()> fn) {
+  at(now_ + delay, std::move(fn));
+}
+
+void Engine::at(Time when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::logic_error("Engine::at: scheduling into the past");
+  }
+  heap_.push_back(Event{when, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+void Engine::spawn(Task<> t, bool daemon) {
+  Root root = make_root(std::move(t));
+  root.handle.promise().eng = this;
+  root.handle.promise().root_index = roots_.size();
+  root.handle.promise().daemon = daemon;
+  roots_.push_back(root.handle);
+  if (!daemon) ++live_;
+  after(Time::zero(), [h = root.handle] { h.resume(); });
+}
+
+bool Engine::step() {
+  if (heap_.empty()) return false;
+  if (events_processed_ >= event_limit_) throw EventLimitError(event_limit_);
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = ev.at;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+    if (failure_) {
+      auto e = failure_;
+      failure_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+  if (live_ > 0) throw DeadlockError(live_);
+}
+
+bool Engine::run_until(Time deadline) {
+  while (!heap_.empty()) {
+    if (heap_.front().at > deadline) return false;
+    step();
+    if (failure_) {
+      auto e = failure_;
+      failure_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+  return true;
+}
+
+void Engine::retire(std::coroutine_handle<> h) {
+  const auto rh = std::coroutine_handle<Root::promise_type>::from_address(
+      h.address());
+  if (!rh.promise().daemon) --live_;
+  const std::size_t idx = rh.promise().root_index;
+  // Swap-erase: root order is irrelevant, only liveness matters.
+  roots_[idx] = roots_.back();
+  if (roots_[idx] != h) {
+    auto moved = std::coroutine_handle<Root::promise_type>::from_address(
+        roots_[idx].address());
+    moved.promise().root_index = idx;
+  }
+  roots_.pop_back();
+  h.destroy();
+}
+
+void Engine::process_failed(std::exception_ptr e) {
+  if (!failure_) failure_ = e;
+}
+
+}  // namespace mns::sim

@@ -1,0 +1,179 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a time-ordered event queue and the root coroutine frames
+// of all spawned processes. Determinism: events at equal timestamps run in
+// schedule order (monotonic sequence number tie-break), and nothing in the
+// simulator consults wall-clock time or unseeded randomness.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace mns::sim {
+
+/// Thrown by Engine::run() when processes remain but no event can wake them.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(std::size_t stuck)
+      : std::runtime_error("simulation deadlock: " + std::to_string(stuck) +
+                           " process(es) blocked with empty event queue") {}
+};
+
+/// Thrown when the configured event budget is exhausted — the guard
+/// against live-locks (e.g. an MPI_Probe polling for a message that can
+/// never arrive generates events forever without advancing the program).
+class EventLimitError : public std::runtime_error {
+ public:
+  explicit EventLimitError(std::uint64_t limit)
+      : std::runtime_error("simulation exceeded its event limit (" +
+                           std::to_string(limit) +
+                           "); suspected live-lock (unsatisfiable poll?)") {}
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` from now. Negative delays are an error.
+  void after(Time delay, std::function<void()> fn);
+  /// Schedule `fn` at absolute time `at` (must be >= now()).
+  void at(Time when, std::function<void()> fn);
+
+  /// Awaitable pause: `co_await eng.delay(Time::us(5));`
+  /// Zero-length delays still suspend (and requeue), preserving FIFO
+  /// fairness between processes.
+  auto delay(Time d) {
+    struct Awaiter {
+      Engine& eng;
+      Time d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        eng.after(d, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Launch `t` as a process. It starts via the event queue at the current
+  /// time, so spawn order is start order. A `daemon` process (a NIC
+  /// firmware loop, a progress engine) does not keep the simulation alive:
+  /// run() completes when only daemons remain blocked.
+  void spawn(Task<void> t, bool daemon = false);
+
+  /// Run until the event queue drains. Throws the first exception escaping
+  /// any process, or DeadlockError if processes remain blocked.
+  void run();
+
+  /// Run until simulated time would exceed `deadline` (events at exactly
+  /// `deadline` still run). Returns true if the queue drained.
+  bool run_until(Time deadline);
+
+  std::size_t live_processes() const { return live_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Abort run()/run_until() with EventLimitError after this many events
+  /// (default: effectively unlimited).
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+  struct Root;  // root coroutine wrapper; public for the factory coroutine
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    // Min-heap via `greater`: earliest (at, seq) first.
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool step();  // pop and run one event; false if queue empty
+  void retire(std::coroutine_handle<> h);  // process done: reclaim its frame
+  void process_failed(std::exception_ptr e);
+
+  std::vector<Event> heap_;
+  Time now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t event_limit_ = UINT64_MAX;
+  std::size_t live_ = 0;
+  std::exception_ptr failure_;
+  // Live root frames only; finished processes are destroyed eagerly so
+  // long runs spawning millions of transient tasks stay flat in memory.
+  std::vector<std::coroutine_handle<>> roots_;
+};
+
+/// A simulated host CPU context for one process (rank).
+///
+/// The testbed nodes are dual-CPU and the paper never oversubscribes, so
+/// each rank owns a CPU and there is no CPU scheduling to model — a Cpu
+/// only advances simulated time and keeps accounting:
+///   - compute():  application computation (overlappable with NIC activity)
+///   - busy():     host work inside the MPI library ("host overhead")
+/// `in_mpi` tells devices whether the host is currently attentive: protocol
+/// steps that need host intervention (e.g. the IB/GM rendezvous handshake)
+/// are deferred while the rank computes outside MPI.
+class Cpu {
+ public:
+  explicit Cpu(Engine& eng) : eng_(&eng) {}
+
+  Task<void> compute(Time d) {
+    compute_time_ += d;
+    co_await eng_->delay(d);
+  }
+
+  Task<void> busy(Time d) {
+    overhead_time_ += d;
+    co_await eng_->delay(d);
+  }
+
+  /// Account overhead without advancing time: used by event-context
+  /// handlers that charge the rank's CPU while it is blocked (the delay is
+  /// applied by the handler's own scheduling).
+  void accrue_overhead(Time d) { overhead_time_ += d; }
+
+  Time compute_time() const { return compute_time_; }
+  Time overhead_time() const { return overhead_time_; }
+
+  bool in_mpi() const { return mpi_depth_ > 0; }
+  void enter_mpi() { ++mpi_depth_; }
+  void exit_mpi() { --mpi_depth_; }
+
+  Engine& engine() const { return *eng_; }
+
+ private:
+  Engine* eng_;
+  Time compute_time_;
+  Time overhead_time_;
+  int mpi_depth_ = 0;
+};
+
+/// RAII guard marking "the host is inside an MPI call".
+class MpiScope {
+ public:
+  explicit MpiScope(Cpu& cpu) : cpu_(&cpu) { cpu_->enter_mpi(); }
+  ~MpiScope() { cpu_->exit_mpi(); }
+  MpiScope(const MpiScope&) = delete;
+  MpiScope& operator=(const MpiScope&) = delete;
+
+ private:
+  Cpu* cpu_;
+};
+
+}  // namespace mns::sim

@@ -1,0 +1,190 @@
+// Synchronization primitives for simulated processes.
+//
+// All wake-ups go through the engine's event queue (zero-delay events), so
+// the order in which blocked coroutines resume is deterministic and no
+// resume happens inside the notifier's stack frame. Hand-off is direct:
+// a sender/releaser assigns its message/token to a specific waiter, so a
+// third party arriving between notify and resume cannot steal it.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace mns::sim {
+
+/// One-shot event. Awaiting after fire() completes immediately; firing
+/// releases all current waiters. fire() is idempotent.
+class Trigger {
+ public:
+  explicit Trigger(Engine& eng) : eng_(&eng) {}
+
+  bool fired() const { return fired_; }
+
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    for (auto h : waiters_) {
+      eng_->after(Time::zero(), [h] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  /// Re-arm a fired trigger. Only valid when no coroutine is waiting.
+  void reset() {
+    if (!waiters_.empty()) {
+      throw std::logic_error("Trigger::reset with pending waiters");
+    }
+    fired_ = false;
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Trigger& t;
+      bool await_ready() const noexcept { return t.fired_; }
+      void await_suspend(std::coroutine_handle<> h) { t.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine* eng_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded FIFO mailbox. Senders never block; receivers block until a
+/// message is available. Messages are delivered in send order; with
+/// multiple concurrent receivers each message goes to exactly one.
+template <class T>
+class Mailbox {
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T> slot;
+  };
+
+ public:
+  explicit Mailbox(Engine& eng) : eng_(&eng) {}
+
+  void send(T msg) {
+    if (!waiters_.empty()) {
+      Waiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->slot = std::move(msg);  // direct hand-off: cannot be stolen
+      eng_->after(Time::zero(), [h = w->handle] { h.resume(); });
+      return;
+    }
+    queue_.push_back(std::move(msg));
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  auto receive() {
+    struct Awaiter : Waiter {
+      Mailbox& mb;
+      explicit Awaiter(Mailbox& m) : mb(m) {}
+      bool await_ready() const noexcept { return !mb.queue_.empty(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        this->handle = h;
+        mb.waiters_.push_back(this);
+      }
+      T await_resume() {
+        if (this->slot.has_value()) return std::move(*this->slot);
+        T msg = std::move(mb.queue_.front());
+        mb.queue_.pop_front();
+        return msg;
+      }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine* eng_;
+  std::deque<T> queue_;
+  std::deque<Waiter*> waiters_;
+};
+
+/// Counting semaphore with direct token hand-off.
+class Semaphore {
+ public:
+  Semaphore(Engine& eng, std::size_t initial) : eng_(&eng), count_(initial) {}
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& s;
+      bool handed_off = false;
+      bool await_ready() const noexcept {
+        return s.count_ > 0 && s.waiters_.empty();
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        s.waiters_.push_back({h, &handed_off});
+      }
+      void await_resume() noexcept {
+        if (!handed_off) --s.count_;  // token taken from the free pool
+      }
+    };
+    return Awaiter{*this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto [h, flag] = waiters_.front();
+      waiters_.pop_front();
+      *flag = true;  // token handed directly to this waiter
+      eng_->after(Time::zero(), [h] { h.resume(); });
+      return;
+    }
+    ++count_;
+  }
+
+  std::size_t available() const { return count_; }
+
+ private:
+  struct Entry {
+    std::coroutine_handle<> handle;
+    bool* handed_off;
+  };
+  Engine* eng_;
+  std::size_t count_;
+  std::deque<Entry> waiters_;
+};
+
+/// Reusable barrier for `n` participants (used in tests and by the
+/// benchmark drivers to align phases; MPI_Barrier is implemented in the MPI
+/// layer with real messages, not with this).
+class SimBarrier {
+ public:
+  SimBarrier(Engine& eng, std::size_t n) : eng_(&eng), n_(n) {}
+
+  auto arrive_and_wait() {
+    struct Awaiter {
+      SimBarrier& b;
+      bool await_ready() const noexcept { return b.n_ == 1; }
+      void await_suspend(std::coroutine_handle<> h) {
+        b.waiters_.push_back(h);
+        if (b.waiters_.size() == b.n_) {
+          for (auto w : b.waiters_) {
+            b.eng_->after(Time::zero(), [w] { w.resume(); });
+          }
+          b.waiters_.clear();
+        }
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine* eng_;
+  std::size_t n_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace mns::sim

@@ -1,0 +1,25 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace mns::sim {
+
+std::string Time::str() const {
+  char buf[48];
+  const double ps = static_cast<double>(ps_);
+  if (ps_ == 0) return "0";
+  if (ps < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.0fps", ps);
+  } else if (ps < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fns", ps / 1e3);
+  } else if (ps < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fus", ps / 1e6);
+  } else if (ps < 1e12) {
+    std::snprintf(buf, sizeof buf, "%.2fms", ps / 1e9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", ps / 1e12);
+  }
+  return buf;
+}
+
+}  // namespace mns::sim

@@ -1,0 +1,42 @@
+#include "util/bytes.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace mns::util {
+
+std::uint64_t parse_size(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("empty size");
+  std::size_t pos = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad size: " + text);
+  }
+  std::uint64_t mult = 1;
+  if (pos < text.size()) {
+    if (pos + 1 != text.size()) throw std::invalid_argument("bad size: " + text);
+    switch (std::toupper(static_cast<unsigned char>(text[pos]))) {
+      case 'K': mult = 1ULL << 10; break;
+      case 'M': mult = 1ULL << 20; break;
+      case 'G': mult = 1ULL << 30; break;
+      default: throw std::invalid_argument("bad size suffix: " + text);
+    }
+  }
+  return value * mult;
+}
+
+std::vector<std::uint64_t> size_sweep(std::uint64_t from, std::uint64_t to) {
+  if (from == 0 || from > to) {
+    throw std::invalid_argument("size_sweep: need 0 < from <= to");
+  }
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t s = from; s <= to; s *= 2) {
+    sizes.push_back(s);
+    if (s > to / 2) break;  // avoid overflow on the doubling
+  }
+  return sizes;
+}
+
+}  // namespace mns::util

@@ -1,0 +1,18 @@
+// Byte-size parsing/formatting helpers ("64K" <-> 65536).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mns::util {
+
+/// Parse "4", "2K", "64K", "1M", "1G" (binary multiples). Throws
+/// std::invalid_argument on malformed input.
+std::uint64_t parse_size(const std::string& text);
+
+/// Geometric sweep of message sizes: from, from*2, ..., up to and
+/// including `to` (the paper's figures all use power-of-two sweeps).
+std::vector<std::uint64_t> size_sweep(std::uint64_t from, std::uint64_t to);
+
+}  // namespace mns::util

@@ -1,0 +1,41 @@
+// Minimal command-line flag parser shared by benches and examples.
+//
+// Supports `--key=value` and boolean `--flag` forms (no space-separated
+// values: `--key value` would be ambiguous with positionals). Unknown flags
+// are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mns::util {
+
+class Flags {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+  /// Byte size with K/M/G suffix.
+  std::uint64_t get_size(const std::string& key, std::uint64_t def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Call after all get()s: throws if any flag was never queried
+  /// (catches typos like --node=8 for --nodes=8).
+  void reject_unknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mns::util

@@ -1,0 +1,111 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mns::util {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ +
+         delta * delta * static_cast<double>(n_) *
+             static_cast<double>(other.n_) / n;
+  mean_ = (mean_ * static_cast<double>(n_) +
+           other.mean_ * static_cast<double>(other.n_)) /
+          n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+double Samples::percentile(double p) const {
+  if (xs_.empty()) throw std::logic_error("percentile of empty Samples");
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0) /
+         static_cast<double>(xs_.size());
+}
+
+double Samples::min() const {
+  return xs_.empty() ? 0.0 : *std::min_element(xs_.begin(), xs_.end());
+}
+
+double Samples::max() const {
+  return xs_.empty() ? 0.0 : *std::max_element(xs_.begin(), xs_.end());
+}
+
+void SizeHistogram::add(std::uint64_t bytes, std::uint64_t count) {
+  total_count_ += count;
+  total_bytes_ += bytes * count;
+  for (auto& e : entries_) {
+    if (e.size == bytes) {
+      e.count += count;
+      return;
+    }
+  }
+  entries_.push_back({bytes, count});
+}
+
+std::uint64_t SizeHistogram::count_in(std::uint64_t lo,
+                                      std::uint64_t hi) const {
+  std::uint64_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.size >= lo && e.size < hi) n += e.count;
+  }
+  return n;
+}
+
+std::uint64_t SizeHistogram::bytes_in(std::uint64_t lo,
+                                      std::uint64_t hi) const {
+  std::uint64_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.size >= lo && e.size < hi) n += e.size * e.count;
+  }
+  return n;
+}
+
+void SizeHistogram::merge(const SizeHistogram& other) {
+  for (const auto& e : other.entries_) add(e.size, e.count);
+}
+
+}  // namespace mns::util

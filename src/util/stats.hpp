@@ -1,0 +1,78 @@
+// Streaming statistics accumulators used by benchmarks and the profiler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mns::util {
+
+/// Welford-style streaming accumulator: mean/variance plus min/max.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const Accumulator& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores every sample; supports exact percentiles. Used where the sample
+/// count is bounded (micro-benchmark repetitions).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const { return xs_.size(); }
+  double percentile(double p) const;  ///< p in [0,100], linear interpolation.
+  double median() const { return percentile(50.0); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Power-of-two histogram over byte sizes; regenerates the paper's Table 1
+/// style "size class" breakdowns.
+class SizeHistogram {
+ public:
+  void add(std::uint64_t bytes, std::uint64_t count = 1);
+
+  std::uint64_t total_count() const { return total_count_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Count of messages with lo <= size < hi.
+  std::uint64_t count_in(std::uint64_t lo, std::uint64_t hi) const;
+  /// Bytes carried by messages with lo <= size < hi.
+  std::uint64_t bytes_in(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Fold another histogram into this one.
+  void merge(const SizeHistogram& other);
+
+ private:
+  struct Entry {
+    std::uint64_t size;
+    std::uint64_t count;
+  };
+  std::vector<Entry> entries_;  // exact (size,count) pairs, kept sorted-ish
+  std::uint64_t total_count_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace mns::util

@@ -1,0 +1,41 @@
+// Plain-text table / CSV emitters for bench harness output.
+//
+// Every bench binary prints one of these per paper figure/table; columns
+// are right-aligned for eyeballing and a `--csv` mode emits
+// machine-readable rows for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mns::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row. Subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(double value, int precision = 2);
+  Table& add(std::uint64_t value);
+  Table& add(int value);
+
+  /// Render with aligned columns to `os`.
+  void print(std::ostream& os) const;
+  /// Render as CSV (header row + data rows).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return cells_.size(); }
+  const std::vector<std::vector<std::string>>& cells() const { return cells_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format helper: "4", "1K", "64K", "1M" — the paper's x-axis labels.
+std::string size_label(std::uint64_t bytes);
+
+}  // namespace mns::util

@@ -1,0 +1,331 @@
+// Calibration regression suite: asserts the simulated micro-benchmarks
+// stay within tolerance of the paper's measured values (Section 3), and
+// that the qualitative *shapes* — who wins, where the crossovers and
+// cliffs fall — match. Any model change that breaks a published behaviour
+// fails here.
+//
+// Known, documented deviations (see EXPERIMENTS.md): Myrinet and Quadrics
+// bi-directional small-message latency come out 20-30% lower than
+// measured; Quadrics/Myrinet allreduce land 15-30% low. Orders and shapes
+// are preserved; those rows use wider bands.
+#include <gtest/gtest.h>
+
+#include "microbench/microbench.hpp"
+
+namespace {
+
+using namespace mns;
+using cluster::Bus;
+using cluster::Net;
+using microbench::Options;
+using microbench::Point;
+
+double at(const std::vector<Point>& pts, std::uint64_t size) {
+  for (const auto& p : pts) {
+    if (p.size == size) return p.value;
+  }
+  ADD_FAILURE() << "no point for size " << size;
+  return -1;
+}
+
+void expect_near_pct(double ours, double paper, double pct) {
+  EXPECT_GT(ours, paper * (1.0 - pct / 100.0)) << "paper=" << paper;
+  EXPECT_LT(ours, paper * (1.0 + pct / 100.0)) << "paper=" << paper;
+}
+
+// --- Fig. 1: latency -------------------------------------------------------
+
+TEST(Calibration, SmallMessageLatency) {
+  expect_near_pct(at(microbench::latency(Net::kInfiniBand, {4}), 4), 6.8, 8);
+  expect_near_pct(at(microbench::latency(Net::kMyrinet, {4}), 4), 6.7, 8);
+  expect_near_pct(at(microbench::latency(Net::kQuadrics, {4}), 4), 4.6, 8);
+}
+
+TEST(Calibration, LargeMessageLatencyIBWins) {
+  // "For large messages, InfiniBand has a clear advantage because of its
+  // higher bandwidth."
+  const std::vector<std::uint64_t> sz{16 << 10};
+  const double ib = at(microbench::latency(Net::kInfiniBand, sz), 16 << 10);
+  const double my = at(microbench::latency(Net::kMyrinet, sz), 16 << 10);
+  const double qs = at(microbench::latency(Net::kQuadrics, sz), 16 << 10);
+  EXPECT_LT(ib, my);
+  EXPECT_LT(ib, qs);
+}
+
+// --- Fig. 2: bandwidth -----------------------------------------------------
+
+TEST(Calibration, PeakBandwidth) {
+  const std::vector<std::uint64_t> sz{1 << 20};
+  expect_near_pct(at(microbench::bandwidth(Net::kInfiniBand, sz), 1 << 20),
+                  841, 5);
+  expect_near_pct(at(microbench::bandwidth(Net::kMyrinet, sz), 1 << 20),
+                  235, 5);
+  expect_near_pct(at(microbench::bandwidth(Net::kQuadrics, sz), 1 << 20),
+                  308, 5);
+}
+
+TEST(Calibration, IbBandwidthDipsAtRendezvousSwitch) {
+  // "The bandwidth drop for 2KB messages is because the protocol switches
+  // from Eager to Rendezvous."
+  const auto bw =
+      microbench::bandwidth(Net::kInfiniBand, {1024, 2048, 4096});
+  EXPECT_LT(at(bw, 2048), at(bw, 1024));
+  EXPECT_GT(at(bw, 4096), at(bw, 2048));
+}
+
+TEST(Calibration, WindowSizeRaisesBandwidth) {
+  Options w4;
+  w4.window = 4;
+  Options w16;
+  w16.window = 16;
+  for (Net net : {Net::kInfiniBand, Net::kMyrinet}) {
+    const double b4 = at(microbench::bandwidth(net, {4096}, w4), 4096);
+    const double b16 = at(microbench::bandwidth(net, {4096}, w16), 4096);
+    EXPECT_GT(b16, b4 * 1.05) << "window should help medium messages";
+  }
+}
+
+TEST(Calibration, QuadricsLargeWindowDroops) {
+  // Fig. 2: QSN throughput falls once the window exceeds the Elan DMA
+  // queue depth (16).
+  Options w16;
+  w16.window = 16;
+  Options w32;
+  w32.window = 32;
+  const double b16 = at(microbench::bandwidth(Net::kQuadrics, {4096}, w16), 4096);
+  const double b32 = at(microbench::bandwidth(Net::kQuadrics, {4096}, w32), 4096);
+  EXPECT_LT(b32, b16);
+}
+
+// --- Fig. 3: host overhead ---------------------------------------------------
+
+TEST(Calibration, HostOverhead) {
+  expect_near_pct(at(microbench::host_overhead(Net::kInfiniBand, {4}), 4),
+                  1.7, 12);
+  expect_near_pct(at(microbench::host_overhead(Net::kMyrinet, {4}), 4), 0.8,
+                  12);
+  expect_near_pct(at(microbench::host_overhead(Net::kQuadrics, {4}), 4), 3.3,
+                  12);
+}
+
+TEST(Calibration, OverheadOrderIndependentOfLatencyOrder) {
+  // Quadrics has the best latency but the WORST host overhead.
+  const double ib = at(microbench::host_overhead(Net::kInfiniBand, {4}), 4);
+  const double my = at(microbench::host_overhead(Net::kMyrinet, {4}), 4);
+  const double qs = at(microbench::host_overhead(Net::kQuadrics, {4}), 4);
+  EXPECT_LT(my, ib);
+  EXPECT_LT(ib, qs);
+}
+
+// --- Figs. 4/5: bi-directional ----------------------------------------------
+
+TEST(Calibration, BidirLatency) {
+  expect_near_pct(at(microbench::bidir_latency(Net::kInfiniBand, {4}), 4),
+                  7.0, 10);
+  // Documented deviations: mechanisms give 8.1 (paper 10.1) and 5.4 (7.4).
+  expect_near_pct(at(microbench::bidir_latency(Net::kMyrinet, {4}), 4), 10.1,
+                  30);
+  expect_near_pct(at(microbench::bidir_latency(Net::kQuadrics, {4}), 4), 7.4,
+                  35);
+}
+
+TEST(Calibration, BidirPenaltyShape) {
+  // InfiniBand barely degrades bi-directionally; Myrinet degrades most.
+  auto penalty = [](Net net) {
+    return at(microbench::bidir_latency(net, {4}), 4) -
+           at(microbench::latency(net, {4}), 4);
+  };
+  const double ib = penalty(Net::kInfiniBand);
+  const double my = penalty(Net::kMyrinet);
+  const double qs = penalty(Net::kQuadrics);
+  EXPECT_LT(ib, 0.7);
+  EXPECT_GT(my, 1.0);
+  EXPECT_GT(my, qs);
+}
+
+TEST(Calibration, BidirBandwidth) {
+  expect_near_pct(
+      at(microbench::bidir_bandwidth(Net::kInfiniBand, {1 << 20}), 1 << 20),
+      900, 5);
+  expect_near_pct(
+      at(microbench::bidir_bandwidth(Net::kQuadrics, {1 << 20}), 1 << 20),
+      375, 8);
+  // Myrinet: fine at 64 KB, SRAM-bound past 256 KB.
+  const auto my = microbench::bidir_bandwidth(
+      Net::kMyrinet, {64 << 10, 1 << 20});
+  expect_near_pct(at(my, 64 << 10), 473, 10);
+  EXPECT_LT(at(my, 1 << 20), 345);
+  EXPECT_GT(at(my, 1 << 20), 290);
+}
+
+// --- Fig. 6: overlap ---------------------------------------------------------
+
+TEST(Calibration, OverlapShapes) {
+  const std::vector<std::uint64_t> sizes{1024, 64 << 10};
+  const auto ib = microbench::overlap_potential(Net::kInfiniBand, sizes);
+  const auto qs = microbench::overlap_potential(Net::kQuadrics, sizes);
+  // Quadrics (NIC-resident protocol) overlaps large transfers almost
+  // fully; IB/GM plateau once rendezvous needs the host.
+  EXPECT_GT(at(qs, 64 << 10), 150.0);
+  EXPECT_LT(at(ib, 64 << 10), 60.0);
+  // For small (eager) messages IB has decent overlap.
+  EXPECT_GT(at(ib, 1024), 2.0);
+}
+
+// --- Figs. 7/8: buffer reuse -------------------------------------------------
+
+TEST(Calibration, BufferReuseSensitivity) {
+  // 0% reuse must be distinctly slower than 100% for all three, each for
+  // its own reason (IB/GM registration, QSN MMU sync).
+  {
+    const double hot = at(
+        microbench::buffer_reuse_latency(Net::kInfiniBand, {4096}, 100), 4096);
+    const double cold = at(
+        microbench::buffer_reuse_latency(Net::kInfiniBand, {4096}, 0), 4096);
+    EXPECT_GT(cold, hot * 1.5);  // VAPI registration dwarfs the 4K latency
+  }
+  {
+    const std::uint64_t sz = 64 << 10;
+    const double hot =
+        at(microbench::buffer_reuse_latency(Net::kMyrinet, {sz}, 100), sz);
+    const double cold =
+        at(microbench::buffer_reuse_latency(Net::kMyrinet, {sz}, 0), sz);
+    EXPECT_GT(cold, hot + 50.0);  // both-side GM registration
+  }
+  {
+    const double hot = at(
+        microbench::buffer_reuse_latency(Net::kQuadrics, {4096}, 100), 4096);
+    const double cold = at(
+        microbench::buffer_reuse_latency(Net::kQuadrics, {4096}, 0), 4096);
+    EXPECT_GT(cold, hot + 5.0);  // MMU sync on both NICs
+  }
+}
+
+TEST(Calibration, MyrinetInsensitiveBelow16K) {
+  // Fig. 7: "Myrinet latency ... not significantly affected until the
+  // message size reaches more than 16KB" (eager copies use pre-registered
+  // buffers).
+  const double hot =
+      at(microbench::buffer_reuse_latency(Net::kMyrinet, {4096}, 100), 4096);
+  const double cold =
+      at(microbench::buffer_reuse_latency(Net::kMyrinet, {4096}, 0), 4096);
+  EXPECT_LT(cold, hot * 1.15);
+}
+
+TEST(Calibration, QuadricsSensitiveAtAllSizes) {
+  // Fig. 7: "a steep rise in latency for Quadrics with lack of buffer
+  // reuse for all messages" — the NIC MMU sync has no size floor.
+  const double hot =
+      at(microbench::buffer_reuse_latency(Net::kQuadrics, {64}, 100), 64);
+  const double cold =
+      at(microbench::buffer_reuse_latency(Net::kQuadrics, {64}, 0), 64);
+  EXPECT_GT(cold, hot + 2.0);  // several us of MMU stall
+}
+
+TEST(Calibration, ReuseBandwidthMonotone) {
+  for (Net net : {Net::kInfiniBand, Net::kQuadrics}) {
+    const std::uint64_t size = 64 << 10;
+    const double b0 =
+        at(microbench::buffer_reuse_bandwidth(net, {size}, 0), size);
+    const double b50 =
+        at(microbench::buffer_reuse_bandwidth(net, {size}, 50), size);
+    const double b100 =
+        at(microbench::buffer_reuse_bandwidth(net, {size}, 100), size);
+    EXPECT_LT(b0, b50) << net_name(net);
+    EXPECT_LT(b50, b100) << net_name(net);
+  }
+}
+
+// --- Figs. 9/10: intra-node --------------------------------------------------
+
+TEST(Calibration, IntranodeLatency) {
+  expect_near_pct(at(microbench::intranode_latency(Net::kInfiniBand, {4}), 4),
+                  1.6, 10);
+  expect_near_pct(at(microbench::intranode_latency(Net::kMyrinet, {4}), 4),
+                  1.3, 10);
+  // Quadrics intra-node is WORSE than its inter-node latency.
+  const double qs_intra =
+      at(microbench::intranode_latency(Net::kQuadrics, {4}), 4);
+  EXPECT_GT(qs_intra, 4.6);
+}
+
+TEST(Calibration, IntranodeBandwidthShapes) {
+  // IB switches to NIC loopback >= 16 KB: >450 MB/s at 1 MB; Myrinet's
+  // all-shm path thrashes the cache and drops below it.
+  const double ib = at(
+      microbench::intranode_bandwidth(Net::kInfiniBand, {1 << 20}), 1 << 20);
+  const double my = at(
+      microbench::intranode_bandwidth(Net::kMyrinet, {1 << 20}), 1 << 20);
+  expect_near_pct(ib, 450, 8);
+  EXPECT_LT(my, ib);
+}
+
+// --- Figs. 11/12: collectives ------------------------------------------------
+
+TEST(Calibration, Alltoall8Nodes) {
+  expect_near_pct(at(microbench::alltoall_latency(Net::kInfiniBand, {4}), 4),
+                  31, 10);
+  expect_near_pct(at(microbench::alltoall_latency(Net::kMyrinet, {4}), 4),
+                  36, 20);
+  expect_near_pct(at(microbench::alltoall_latency(Net::kQuadrics, {4}), 4),
+                  67, 10);
+}
+
+TEST(Calibration, Allreduce8Nodes) {
+  expect_near_pct(at(microbench::allreduce_latency(Net::kInfiniBand, {4}), 4),
+                  46, 15);
+  expect_near_pct(at(microbench::allreduce_latency(Net::kMyrinet, {4}), 4),
+                  35, 32);
+  expect_near_pct(at(microbench::allreduce_latency(Net::kQuadrics, {4}), 4),
+                  28, 20);
+}
+
+TEST(Calibration, CollectiveOrderings) {
+  // Fig. 11: IB < Myri < QSN for alltoall; Fig. 12: QSN < Myri < IB for
+  // allreduce.
+  const double a_ib = at(microbench::alltoall_latency(Net::kInfiniBand, {4}), 4);
+  const double a_my = at(microbench::alltoall_latency(Net::kMyrinet, {4}), 4);
+  const double a_qs = at(microbench::alltoall_latency(Net::kQuadrics, {4}), 4);
+  EXPECT_LT(a_ib, a_my);
+  EXPECT_LT(a_my, a_qs);
+  const double r_ib = at(microbench::allreduce_latency(Net::kInfiniBand, {4}), 4);
+  const double r_my = at(microbench::allreduce_latency(Net::kMyrinet, {4}), 4);
+  const double r_qs = at(microbench::allreduce_latency(Net::kQuadrics, {4}), 4);
+  EXPECT_LT(r_qs, r_my);
+  EXPECT_LT(r_my, r_ib);
+}
+
+// --- Fig. 13: memory usage ---------------------------------------------------
+
+TEST(Calibration, MemoryUsage) {
+  const auto ib = microbench::memory_usage(Net::kInfiniBand, 8);
+  EXPECT_NEAR(ib.front().value, 25.0, 3.0);  // 2 nodes
+  EXPECT_NEAR(ib.back().value, 55.0, 5.0);   // 8 nodes
+  // Linear growth with connections.
+  for (std::size_t i = 1; i < ib.size(); ++i) {
+    EXPECT_GT(ib[i].value, ib[i - 1].value);
+  }
+  // Myrinet and Quadrics are flat.
+  for (Net net : {Net::kMyrinet, Net::kQuadrics}) {
+    const auto mem = microbench::memory_usage(net, 8);
+    EXPECT_DOUBLE_EQ(mem.front().value, mem.back().value) << net_name(net);
+    EXPECT_LT(mem.back().value, 15.0) << net_name(net);
+  }
+}
+
+// --- Figs. 26/27: PCI vs PCI-X -----------------------------------------------
+
+TEST(Calibration, InfiniBandOnPci) {
+  Options pci;
+  pci.bus = Bus::kPci66;
+  // "latency ... only increases by about 0.6 us"
+  const double lat_x = at(microbench::latency(Net::kInfiniBand, {4}), 4);
+  const double lat_p = at(microbench::latency(Net::kInfiniBand, {4}, pci), 4);
+  EXPECT_NEAR(lat_p - lat_x, 0.6, 0.45);
+  // "the bandwidth decreases and only reaches 378MB/s"
+  expect_near_pct(
+      at(microbench::bandwidth(Net::kInfiniBand, {1 << 20}, pci), 1 << 20),
+      378, 6);
+}
+
+}  // namespace

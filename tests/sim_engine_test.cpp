@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace mns::sim;
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ(Time::us(1).count_ps(), 1'000'000);
+  EXPECT_EQ((Time::us(3) + Time::ns(500)).count_ps(), 3'500'000);
+  EXPECT_EQ((Time::us(3) - Time::us(1)).count_ps(), 2'000'000);
+  EXPECT_EQ((Time::ns(10) * 3).count_ps(), 30'000);
+  EXPECT_LT(Time::ns(999), Time::us(1));
+  EXPECT_DOUBLE_EQ(Time::us(5).to_us(), 5.0);
+  EXPECT_DOUBLE_EQ(Time::ms(2).to_seconds(), 0.002);
+  EXPECT_DOUBLE_EQ(Time::us(10) / Time::us(4), 2.5);
+}
+
+TEST(Time, SecondsRounding) {
+  EXPECT_EQ(Time::seconds(1e-12).count_ps(), 1);
+  EXPECT_EQ(Time::usec(6.8).count_ps(), 6'800'000);
+  EXPECT_EQ(Time::nsec(0.5).count_ps(), 500);
+}
+
+TEST(Time, TransferTime) {
+  // 1000 bytes at 1 GB/s = 1 us.
+  EXPECT_EQ(transfer_time(1000, 1e9).count_ps(), 1'000'000);
+  // 1 byte at 2 GB/s = 500 ps.
+  EXPECT_EQ(transfer_time(1, 2e9).count_ps(), 500);
+}
+
+TEST(Time, Format) {
+  EXPECT_EQ(Time::zero().str(), "0");
+  EXPECT_EQ(Time::us(5).str(), "5.00us");
+  EXPECT_EQ(Time::ns(1).str(), "1.00ns");
+}
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.after(Time::us(3), [&] { order.push_back(3); });
+  eng.after(Time::us(1), [&] { order.push_back(1); });
+  eng.after(Time::us(2), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), Time::us(3));
+  EXPECT_EQ(eng.events_processed(), 3u);
+}
+
+TEST(Engine, TiesBreakInScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.after(Time::us(1), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, SchedulingIntoPastThrows) {
+  Engine eng;
+  eng.after(Time::us(1), [&] {
+    EXPECT_THROW(eng.at(Time::zero(), [] {}), std::logic_error);
+  });
+  eng.run();
+}
+
+TEST(Engine, CoroutineDelayAdvancesTime) {
+  Engine eng;
+  Time finished;
+  eng.spawn([](Engine& e, Time& out) -> Task<> {
+    co_await e.delay(Time::us(10));
+    co_await e.delay(Time::us(5));
+    out = e.now();
+  }(eng, finished));
+  eng.run();
+  EXPECT_EQ(finished, Time::us(15));
+  EXPECT_EQ(eng.live_processes(), 0u);
+}
+
+Task<int> add_later(Engine& eng, int a, int b) {
+  co_await eng.delay(Time::ns(100));
+  co_return a + b;
+}
+
+Task<int> nested(Engine& eng) {
+  const int x = co_await add_later(eng, 1, 2);
+  const int y = co_await add_later(eng, x, 10);
+  co_return y;
+}
+
+TEST(Engine, NestedTasksReturnValues) {
+  Engine eng;
+  int result = 0;
+  eng.spawn([](Engine& e, int& out) -> Task<> {
+    out = co_await nested(e);
+  }(eng, result));
+  eng.run();
+  EXPECT_EQ(result, 13);
+  EXPECT_EQ(eng.now(), Time::ns(200));
+}
+
+TEST(Engine, DeepTaskChainNoStackOverflow) {
+  // Symmetric transfer: a 100k-deep chain of immediately-returning tasks
+  // must not consume native stack proportional to depth.
+  struct Chain {
+    static Task<int> down(Engine& e, int depth) {
+      if (depth == 0) co_return 0;
+      co_return 1 + co_await down(e, depth - 1);
+    }
+  };
+  Engine eng;
+  int result = 0;
+  eng.spawn([](Engine& e, int& out) -> Task<> {
+    out = co_await Chain::down(e, 100'000);
+  }(eng, result));
+  eng.run();
+  EXPECT_EQ(result, 100'000);
+}
+
+TEST(Engine, ExceptionPropagatesToRun) {
+  Engine eng;
+  eng.spawn([](Engine& e) -> Task<> {
+    co_await e.delay(Time::us(1));
+    throw std::runtime_error("boom");
+  }(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, ExceptionAcrossNestedTasks) {
+  struct Thrower {
+    static Task<> inner(Engine& e) {
+      co_await e.delay(Time::us(1));
+      throw std::runtime_error("inner boom");
+    }
+    static Task<> outer(Engine& e) { co_await inner(e); }
+  };
+  Engine eng;
+  eng.spawn(Thrower::outer(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, MultipleProcessesInterleave) {
+  Engine eng;
+  std::vector<std::pair<int, Time>> log;
+  auto proc = [](Engine& e, std::vector<std::pair<int, Time>>& log, int id,
+                 Time step) -> Task<> {
+    for (int i = 0; i < 3; ++i) {
+      co_await e.delay(step);
+      log.emplace_back(id, e.now());
+    }
+  };
+  eng.spawn(proc(eng, log, 1, Time::us(2)));
+  eng.spawn(proc(eng, log, 2, Time::us(3)));
+  eng.run();
+  ASSERT_EQ(log.size(), 6u);
+  // Process 1 ticks at 2,4,6; process 2 at 3,6,9. At t=6 process 2 runs
+  // first: its event was scheduled earlier (at t=3) than process 1's (t=4).
+  EXPECT_EQ(log[0], (std::pair{1, Time::us(2)}));
+  EXPECT_EQ(log[1], (std::pair{2, Time::us(3)}));
+  EXPECT_EQ(log[2], (std::pair{1, Time::us(4)}));
+  EXPECT_EQ(log[3], (std::pair{2, Time::us(6)}));
+  EXPECT_EQ(log[4], (std::pair{1, Time::us(6)}));
+  EXPECT_EQ(log[5], (std::pair{2, Time::us(9)}));
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int ticks = 0;
+  eng.spawn([](Engine& e, int& t) -> Task<> {
+    for (int i = 0; i < 100; ++i) {
+      co_await e.delay(Time::us(1));
+      ++t;
+    }
+  }(eng, ticks));
+  EXPECT_FALSE(eng.run_until(Time::us(10)));
+  EXPECT_EQ(ticks, 10);
+  EXPECT_TRUE(eng.run_until(Time::ms(1)));
+  EXPECT_EQ(ticks, 100);
+}
+
+TEST(Engine, EventLimitCatchesLiveLock) {
+  // A self-rescheduling poller never drains the queue; the event budget
+  // must convert the live-lock into an error instead of spinning forever.
+  Engine eng;
+  eng.set_event_limit(10'000);
+  std::function<void()> poll = [&] { eng.after(Time::ns(100), poll); };
+  eng.after(Time::zero(), poll);
+  EXPECT_THROW(eng.run(), EventLimitError);
+  EXPECT_GE(eng.events_processed(), 10'000u);
+}
+
+TEST(Cpu, AccountsComputeAndOverhead) {
+  Engine eng;
+  Cpu cpu(eng);
+  eng.spawn([](Engine& e, Cpu& c) -> Task<> {
+    co_await c.compute(Time::us(10));
+    {
+      MpiScope scope(c);
+      EXPECT_TRUE(c.in_mpi());
+      co_await c.busy(Time::us(2));
+    }
+    EXPECT_FALSE(c.in_mpi());
+    co_await e.delay(Time::us(5));  // blocked, not busy
+  }(eng, cpu));
+  eng.run();
+  EXPECT_EQ(cpu.compute_time(), Time::us(10));
+  EXPECT_EQ(cpu.overhead_time(), Time::us(2));
+  EXPECT_EQ(eng.now(), Time::us(17));
+}
+
+TEST(Cpu, NestedMpiScopes) {
+  Engine eng;
+  Cpu cpu(eng);
+  {
+    MpiScope a(cpu);
+    EXPECT_TRUE(cpu.in_mpi());
+    {
+      MpiScope b(cpu);
+      EXPECT_TRUE(cpu.in_mpi());
+    }
+    EXPECT_TRUE(cpu.in_mpi());
+  }
+  EXPECT_FALSE(cpu.in_mpi());
+}
+
+}  // namespace

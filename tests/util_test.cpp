@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/bytes.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mns::util;
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(10), 10u);
+  }
+}
+
+TEST(Rng, BelowRoughlyUniform) {
+  Rng r(99);
+  int counts[8] = {};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[r.below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 / 5);  // within 20%
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Accumulator, Basics) {
+  Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeEmpty) {
+  Accumulator a, b;
+  a.add(5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+}
+
+TEST(Samples, EmptyThrows) {
+  Samples s;
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(SizeHistogram, PaperTable1Buckets) {
+  SizeHistogram h;
+  h.add(100, 5);        // < 2K
+  h.add(4096, 2);       // 2K-16K
+  h.add(65536, 3);      // 16K-1M
+  h.add(2 << 20, 1);    // > 1M
+  EXPECT_EQ(h.total_count(), 11u);
+  EXPECT_EQ(h.count_in(0, 2048), 5u);
+  EXPECT_EQ(h.count_in(2048, 16384), 2u);
+  EXPECT_EQ(h.count_in(16384, 1 << 20), 3u);
+  EXPECT_EQ(h.count_in(1 << 20, UINT64_MAX), 1u);
+  EXPECT_EQ(h.bytes_in(2048, 16384), 8192u);
+}
+
+TEST(ParseSize, Suffixes) {
+  EXPECT_EQ(parse_size("4"), 4u);
+  EXPECT_EQ(parse_size("2K"), 2048u);
+  EXPECT_EQ(parse_size("2k"), 2048u);
+  EXPECT_EQ(parse_size("1M"), 1u << 20);
+  EXPECT_EQ(parse_size("1G"), 1u << 30);
+  EXPECT_THROW(parse_size(""), std::invalid_argument);
+  EXPECT_THROW(parse_size("x"), std::invalid_argument);
+  EXPECT_THROW(parse_size("4Q"), std::invalid_argument);
+  EXPECT_THROW(parse_size("4KB"), std::invalid_argument);
+}
+
+TEST(SizeSweep, PowersOfTwo) {
+  const auto sizes = size_sweep(4, 64);
+  ASSERT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(sizes.front(), 4u);
+  EXPECT_EQ(sizes.back(), 64u);
+  EXPECT_THROW(size_sweep(0, 4), std::invalid_argument);
+  EXPECT_THROW(size_sweep(8, 4), std::invalid_argument);
+}
+
+TEST(SizeLabel, Rendering) {
+  EXPECT_EQ(size_label(4), "4");
+  EXPECT_EQ(size_label(1024), "1K");
+  EXPECT_EQ(size_label(65536), "64K");
+  EXPECT_EQ(size_label(1 << 20), "1M");
+  EXPECT_EQ(size_label(1000), "1000");
+}
+
+TEST(Flags, Parsing) {
+  const char* argv[] = {"prog", "--net=ib",   "--nodes=8",
+                        "--csv", "positional", "--size=64K"};
+  Flags f(6, argv);
+  EXPECT_EQ(f.get("net", ""), "ib");
+  EXPECT_EQ(f.get_int("nodes", 0), 8);
+  EXPECT_TRUE(f.get_bool("csv", false));
+  EXPECT_EQ(f.get_size("size", 0), 65536u);
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "positional");
+  f.reject_unknown();
+}
+
+TEST(Flags, RejectUnknown) {
+  const char* argv[] = {"prog", "--node=8"};
+  Flags f(2, argv);
+  EXPECT_THROW(f.reject_unknown(), std::invalid_argument);
+}
+
+TEST(Flags, BadValues) {
+  const char* argv[] = {"prog", "--n=abc", "--b=maybe"};
+  Flags f(3, argv);
+  EXPECT_THROW(f.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(f.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Table, AlignedAndCsv) {
+  Table t({"size", "lat_us"});
+  t.row().add(std::uint64_t{4}).add(6.8, 1);
+  t.row().add(std::uint64_t{1024}).add(12.25, 1);
+  std::ostringstream txt, csv;
+  t.print(txt);
+  t.print_csv(csv);
+  EXPECT_NE(txt.str().find("lat_us"), std::string::npos);
+  EXPECT_NE(txt.str().find("6.8"), std::string::npos);
+  EXPECT_EQ(csv.str(), "size,lat_us\n4,6.8\n1024,12.2\n");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
