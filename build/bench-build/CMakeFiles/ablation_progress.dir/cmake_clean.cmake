@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_progress"
+  "../bench/ablation_progress.pdb"
+  "CMakeFiles/ablation_progress.dir/ablation_progress.cpp.o"
+  "CMakeFiles/ablation_progress.dir/ablation_progress.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

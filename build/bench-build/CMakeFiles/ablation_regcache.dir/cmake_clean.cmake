@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_regcache"
+  "../bench/ablation_regcache.pdb"
+  "CMakeFiles/ablation_regcache.dir/ablation_regcache.cpp.o"
+  "CMakeFiles/ablation_regcache.dir/ablation_regcache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_connections"
+  "../bench/ext_connections.pdb"
+  "CMakeFiles/ext_connections.dir/ext_connections.cpp.o"
+  "CMakeFiles/ext_connections.dir/ext_connections.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_ib_multicast"
+  "../bench/ext_ib_multicast.pdb"
+  "CMakeFiles/ext_ib_multicast.dir/ext_ib_multicast.cpp.o"
+  "CMakeFiles/ext_ib_multicast.dir/ext_ib_multicast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ib_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_loggp"
+  "../bench/ext_loggp.pdb"
+  "CMakeFiles/ext_loggp.dir/ext_loggp.cpp.o"
+  "CMakeFiles/ext_loggp.dir/ext_loggp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_loggp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_latency"
+  "../bench/fig01_latency.pdb"
+  "CMakeFiles/fig01_latency.dir/fig01_latency.cpp.o"
+  "CMakeFiles/fig01_latency.dir/fig01_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

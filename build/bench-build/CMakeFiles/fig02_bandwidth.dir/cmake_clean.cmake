@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_bandwidth"
+  "../bench/fig02_bandwidth.pdb"
+  "CMakeFiles/fig02_bandwidth.dir/fig02_bandwidth.cpp.o"
+  "CMakeFiles/fig02_bandwidth.dir/fig02_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

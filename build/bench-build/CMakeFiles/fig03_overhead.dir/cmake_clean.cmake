@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_overhead"
+  "../bench/fig03_overhead.pdb"
+  "CMakeFiles/fig03_overhead.dir/fig03_overhead.cpp.o"
+  "CMakeFiles/fig03_overhead.dir/fig03_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_bidir_latency"
+  "../bench/fig04_bidir_latency.pdb"
+  "CMakeFiles/fig04_bidir_latency.dir/fig04_bidir_latency.cpp.o"
+  "CMakeFiles/fig04_bidir_latency.dir/fig04_bidir_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_bidir_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_bidir_bandwidth"
+  "../bench/fig05_bidir_bandwidth.pdb"
+  "CMakeFiles/fig05_bidir_bandwidth.dir/fig05_bidir_bandwidth.cpp.o"
+  "CMakeFiles/fig05_bidir_bandwidth.dir/fig05_bidir_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bidir_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

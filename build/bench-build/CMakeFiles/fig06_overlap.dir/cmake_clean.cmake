@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_overlap"
+  "../bench/fig06_overlap.pdb"
+  "CMakeFiles/fig06_overlap.dir/fig06_overlap.cpp.o"
+  "CMakeFiles/fig06_overlap.dir/fig06_overlap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

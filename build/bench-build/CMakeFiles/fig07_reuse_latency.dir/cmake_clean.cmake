@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_reuse_latency"
+  "../bench/fig07_reuse_latency.pdb"
+  "CMakeFiles/fig07_reuse_latency.dir/fig07_reuse_latency.cpp.o"
+  "CMakeFiles/fig07_reuse_latency.dir/fig07_reuse_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_reuse_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_reuse_bandwidth"
+  "../bench/fig08_reuse_bandwidth.pdb"
+  "CMakeFiles/fig08_reuse_bandwidth.dir/fig08_reuse_bandwidth.cpp.o"
+  "CMakeFiles/fig08_reuse_bandwidth.dir/fig08_reuse_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_reuse_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

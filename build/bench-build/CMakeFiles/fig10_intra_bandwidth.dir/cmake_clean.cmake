@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_intra_bandwidth"
+  "../bench/fig10_intra_bandwidth.pdb"
+  "CMakeFiles/fig10_intra_bandwidth.dir/fig10_intra_bandwidth.cpp.o"
+  "CMakeFiles/fig10_intra_bandwidth.dir/fig10_intra_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_intra_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_alltoall"
+  "../bench/fig11_alltoall.pdb"
+  "CMakeFiles/fig11_alltoall.dir/fig11_alltoall.cpp.o"
+  "CMakeFiles/fig11_alltoall.dir/fig11_alltoall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

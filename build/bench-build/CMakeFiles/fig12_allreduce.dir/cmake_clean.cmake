@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_allreduce"
+  "../bench/fig12_allreduce.pdb"
+  "CMakeFiles/fig12_allreduce.dir/fig12_allreduce.cpp.o"
+  "CMakeFiles/fig12_allreduce.dir/fig12_allreduce.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

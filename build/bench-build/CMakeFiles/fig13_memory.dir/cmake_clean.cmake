@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_memory"
+  "../bench/fig13_memory.pdb"
+  "CMakeFiles/fig13_memory.dir/fig13_memory.cpp.o"
+  "CMakeFiles/fig13_memory.dir/fig13_memory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_is_mg"
+  "../bench/fig14_is_mg.pdb"
+  "CMakeFiles/fig14_is_mg.dir/fig14_is_mg.cpp.o"
+  "CMakeFiles/fig14_is_mg.dir/fig14_is_mg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_is_mg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

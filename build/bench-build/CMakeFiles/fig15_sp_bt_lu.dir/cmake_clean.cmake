@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_sp_bt_lu"
+  "../bench/fig15_sp_bt_lu.pdb"
+  "CMakeFiles/fig15_sp_bt_lu.dir/fig15_sp_bt_lu.cpp.o"
+  "CMakeFiles/fig15_sp_bt_lu.dir/fig15_sp_bt_lu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sp_bt_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_cg_ft"
+  "../bench/fig16_cg_ft.pdb"
+  "CMakeFiles/fig16_cg_ft.dir/fig16_cg_ft.cpp.o"
+  "CMakeFiles/fig16_cg_ft.dir/fig16_cg_ft.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cg_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

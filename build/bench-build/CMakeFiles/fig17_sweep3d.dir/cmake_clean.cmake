@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_sweep3d"
+  "../bench/fig17_sweep3d.pdb"
+  "CMakeFiles/fig17_sweep3d.dir/fig17_sweep3d.cpp.o"
+  "CMakeFiles/fig17_sweep3d.dir/fig17_sweep3d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_sweep3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_23_speedup"
+  "../bench/fig18_23_speedup.pdb"
+  "CMakeFiles/fig18_23_speedup.dir/fig18_23_speedup.cpp.o"
+  "CMakeFiles/fig18_23_speedup.dir/fig18_23_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_23_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

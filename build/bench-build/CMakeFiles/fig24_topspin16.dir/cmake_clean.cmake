@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig24_topspin16"
+  "../bench/fig24_topspin16.pdb"
+  "CMakeFiles/fig24_topspin16.dir/fig24_topspin16.cpp.o"
+  "CMakeFiles/fig24_topspin16.dir/fig24_topspin16.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_topspin16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig24_topspin16.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig25_smp"
+  "../bench/fig25_smp.pdb"
+  "CMakeFiles/fig25_smp.dir/fig25_smp.cpp.o"
+  "CMakeFiles/fig25_smp.dir/fig25_smp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

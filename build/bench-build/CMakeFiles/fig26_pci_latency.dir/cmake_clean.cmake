@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig26_pci_latency"
+  "../bench/fig26_pci_latency.pdb"
+  "CMakeFiles/fig26_pci_latency.dir/fig26_pci_latency.cpp.o"
+  "CMakeFiles/fig26_pci_latency.dir/fig26_pci_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_pci_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

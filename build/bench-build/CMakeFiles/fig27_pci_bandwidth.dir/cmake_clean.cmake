@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig27_pci_bandwidth"
+  "../bench/fig27_pci_bandwidth.pdb"
+  "CMakeFiles/fig27_pci_bandwidth.dir/fig27_pci_bandwidth.cpp.o"
+  "CMakeFiles/fig27_pci_bandwidth.dir/fig27_pci_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_pci_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig28_pci_apps"
+  "../bench/fig28_pci_apps.pdb"
+  "CMakeFiles/fig28_pci_apps.dir/fig28_pci_apps.cpp.o"
+  "CMakeFiles/fig28_pci_apps.dir/fig28_pci_apps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig28_pci_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_engine"
+  "../bench/perf_engine.pdb"
+  "CMakeFiles/perf_engine.dir/perf_engine.cpp.o"
+  "CMakeFiles/perf_engine.dir/perf_engine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_msgsize"
+  "../bench/tab01_msgsize.pdb"
+  "CMakeFiles/tab01_msgsize.dir/tab01_msgsize.cpp.o"
+  "CMakeFiles/tab01_msgsize.dir/tab01_msgsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_msgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab02_scalability"
+  "../bench/tab02_scalability.pdb"
+  "CMakeFiles/tab02_scalability.dir/tab02_scalability.cpp.o"
+  "CMakeFiles/tab02_scalability.dir/tab02_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab03_nonblocking"
+  "../bench/tab03_nonblocking.pdb"
+  "CMakeFiles/tab03_nonblocking.dir/tab03_nonblocking.cpp.o"
+  "CMakeFiles/tab03_nonblocking.dir/tab03_nonblocking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

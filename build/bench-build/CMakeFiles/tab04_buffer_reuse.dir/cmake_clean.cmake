@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab04_buffer_reuse"
+  "../bench/tab04_buffer_reuse.pdb"
+  "CMakeFiles/tab04_buffer_reuse.dir/tab04_buffer_reuse.cpp.o"
+  "CMakeFiles/tab04_buffer_reuse.dir/tab04_buffer_reuse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_buffer_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab05_collectives"
+  "../bench/tab05_collectives.pdb"
+  "CMakeFiles/tab05_collectives.dir/tab05_collectives.cpp.o"
+  "CMakeFiles/tab05_collectives.dir/tab05_collectives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

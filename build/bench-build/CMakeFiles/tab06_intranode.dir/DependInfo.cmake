@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab06_intranode.cpp" "bench-build/CMakeFiles/tab06_intranode.dir/tab06_intranode.cpp.o" "gcc" "bench-build/CMakeFiles/tab06_intranode.dir/tab06_intranode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/microbench/CMakeFiles/mns_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mns_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mns_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mns_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/mns_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/gm/CMakeFiles/mns_gm.dir/DependInfo.cmake"
+  "/root/repo/build/src/elan/CMakeFiles/mns_elan.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mns_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/mns_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

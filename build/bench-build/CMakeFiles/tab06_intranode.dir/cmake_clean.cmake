@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab06_intranode"
+  "../bench/tab06_intranode.pdb"
+  "CMakeFiles/tab06_intranode.dir/tab06_intranode.cpp.o"
+  "CMakeFiles/tab06_intranode.dir/tab06_intranode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_intranode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("model")
+subdirs("ib")
+subdirs("gm")
+subdirs("elan")
+subdirs("shm")
+subdirs("mpi")
+subdirs("prof")
+subdirs("cluster")
+subdirs("microbench")
+subdirs("apps")

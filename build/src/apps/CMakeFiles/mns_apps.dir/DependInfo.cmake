@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/adi.cpp" "src/apps/CMakeFiles/mns_apps.dir/adi.cpp.o" "gcc" "src/apps/CMakeFiles/mns_apps.dir/adi.cpp.o.d"
+  "/root/repo/src/apps/cg.cpp" "src/apps/CMakeFiles/mns_apps.dir/cg.cpp.o" "gcc" "src/apps/CMakeFiles/mns_apps.dir/cg.cpp.o.d"
+  "/root/repo/src/apps/ft.cpp" "src/apps/CMakeFiles/mns_apps.dir/ft.cpp.o" "gcc" "src/apps/CMakeFiles/mns_apps.dir/ft.cpp.o.d"
+  "/root/repo/src/apps/is.cpp" "src/apps/CMakeFiles/mns_apps.dir/is.cpp.o" "gcc" "src/apps/CMakeFiles/mns_apps.dir/is.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/mns_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/mns_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/mg.cpp" "src/apps/CMakeFiles/mns_apps.dir/mg.cpp.o" "gcc" "src/apps/CMakeFiles/mns_apps.dir/mg.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/mns_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/mns_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/sweep3d.cpp" "src/apps/CMakeFiles/mns_apps.dir/sweep3d.cpp.o" "gcc" "src/apps/CMakeFiles/mns_apps.dir/sweep3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/mns_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mns_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/mns_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/gm/CMakeFiles/mns_gm.dir/DependInfo.cmake"
+  "/root/repo/build/src/elan/CMakeFiles/mns_elan.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mns_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/mns_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

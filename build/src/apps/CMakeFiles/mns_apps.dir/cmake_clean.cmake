@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mns_apps.dir/adi.cpp.o"
+  "CMakeFiles/mns_apps.dir/adi.cpp.o.d"
+  "CMakeFiles/mns_apps.dir/cg.cpp.o"
+  "CMakeFiles/mns_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/mns_apps.dir/ft.cpp.o"
+  "CMakeFiles/mns_apps.dir/ft.cpp.o.d"
+  "CMakeFiles/mns_apps.dir/is.cpp.o"
+  "CMakeFiles/mns_apps.dir/is.cpp.o.d"
+  "CMakeFiles/mns_apps.dir/lu.cpp.o"
+  "CMakeFiles/mns_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/mns_apps.dir/mg.cpp.o"
+  "CMakeFiles/mns_apps.dir/mg.cpp.o.d"
+  "CMakeFiles/mns_apps.dir/registry.cpp.o"
+  "CMakeFiles/mns_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/mns_apps.dir/sweep3d.cpp.o"
+  "CMakeFiles/mns_apps.dir/sweep3d.cpp.o.d"
+  "libmns_apps.a"
+  "libmns_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mns_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

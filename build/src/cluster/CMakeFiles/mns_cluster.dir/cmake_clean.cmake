@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mns_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/mns_cluster.dir/cluster.cpp.o.d"
+  "libmns_cluster.a"
+  "libmns_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mns_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

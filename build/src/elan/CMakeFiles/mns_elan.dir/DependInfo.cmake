@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elan/elan_fabric.cpp" "src/elan/CMakeFiles/mns_elan.dir/elan_fabric.cpp.o" "gcc" "src/elan/CMakeFiles/mns_elan.dir/elan_fabric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mns_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

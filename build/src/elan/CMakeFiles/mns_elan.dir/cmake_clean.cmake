@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mns_elan.dir/elan_fabric.cpp.o"
+  "CMakeFiles/mns_elan.dir/elan_fabric.cpp.o.d"
+  "libmns_elan.a"
+  "libmns_elan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mns_elan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

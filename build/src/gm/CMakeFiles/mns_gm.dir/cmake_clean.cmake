@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mns_gm.dir/gm_fabric.cpp.o"
+  "CMakeFiles/mns_gm.dir/gm_fabric.cpp.o.d"
+  "libmns_gm.a"
+  "libmns_gm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mns_gm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mns_ib.dir/ib_fabric.cpp.o"
+  "CMakeFiles/mns_ib.dir/ib_fabric.cpp.o.d"
+  "libmns_ib.a"
+  "libmns_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mns_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mns_microbench.dir/logp.cpp.o"
+  "CMakeFiles/mns_microbench.dir/logp.cpp.o.d"
+  "CMakeFiles/mns_microbench.dir/microbench.cpp.o"
+  "CMakeFiles/mns_microbench.dir/microbench.cpp.o.d"
+  "libmns_microbench.a"
+  "libmns_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mns_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mns_model.dir/bus.cpp.o"
+  "CMakeFiles/mns_model.dir/bus.cpp.o.d"
+  "CMakeFiles/mns_model.dir/netfabric.cpp.o"
+  "CMakeFiles/mns_model.dir/netfabric.cpp.o.d"
+  "CMakeFiles/mns_model.dir/nic_tlb.cpp.o"
+  "CMakeFiles/mns_model.dir/nic_tlb.cpp.o.d"
+  "CMakeFiles/mns_model.dir/regcache.cpp.o"
+  "CMakeFiles/mns_model.dir/regcache.cpp.o.d"
+  "libmns_model.a"
+  "libmns_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mns_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/ch_elan.cpp" "src/mpi/CMakeFiles/mns_mpi.dir/ch_elan.cpp.o" "gcc" "src/mpi/CMakeFiles/mns_mpi.dir/ch_elan.cpp.o.d"
+  "/root/repo/src/mpi/ch_factories.cpp" "src/mpi/CMakeFiles/mns_mpi.dir/ch_factories.cpp.o" "gcc" "src/mpi/CMakeFiles/mns_mpi.dir/ch_factories.cpp.o.d"
+  "/root/repo/src/mpi/ch_rdv.cpp" "src/mpi/CMakeFiles/mns_mpi.dir/ch_rdv.cpp.o" "gcc" "src/mpi/CMakeFiles/mns_mpi.dir/ch_rdv.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/mns_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/mns_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/mpi/CMakeFiles/mns_mpi.dir/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/mns_mpi.dir/comm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mns_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/mns_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/gm/CMakeFiles/mns_gm.dir/DependInfo.cmake"
+  "/root/repo/build/src/elan/CMakeFiles/mns_elan.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/mns_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

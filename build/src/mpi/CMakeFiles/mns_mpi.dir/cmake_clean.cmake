@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mns_mpi.dir/ch_elan.cpp.o"
+  "CMakeFiles/mns_mpi.dir/ch_elan.cpp.o.d"
+  "CMakeFiles/mns_mpi.dir/ch_factories.cpp.o"
+  "CMakeFiles/mns_mpi.dir/ch_factories.cpp.o.d"
+  "CMakeFiles/mns_mpi.dir/ch_rdv.cpp.o"
+  "CMakeFiles/mns_mpi.dir/ch_rdv.cpp.o.d"
+  "CMakeFiles/mns_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/mns_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/mns_mpi.dir/comm.cpp.o"
+  "CMakeFiles/mns_mpi.dir/comm.cpp.o.d"
+  "libmns_mpi.a"
+  "libmns_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mns_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mns_prof.dir/recorder.cpp.o"
+  "CMakeFiles/mns_prof.dir/recorder.cpp.o.d"
+  "CMakeFiles/mns_prof.dir/trace.cpp.o"
+  "CMakeFiles/mns_prof.dir/trace.cpp.o.d"
+  "libmns_prof.a"
+  "libmns_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mns_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mns_sim.dir/engine.cpp.o"
+  "CMakeFiles/mns_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mns_sim.dir/time.cpp.o"
+  "CMakeFiles/mns_sim.dir/time.cpp.o.d"
+  "libmns_sim.a"
+  "libmns_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mns_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mns_util.dir/bytes.cpp.o"
+  "CMakeFiles/mns_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/mns_util.dir/flags.cpp.o"
+  "CMakeFiles/mns_util.dir/flags.cpp.o.d"
+  "CMakeFiles/mns_util.dir/stats.cpp.o"
+  "CMakeFiles/mns_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mns_util.dir/table.cpp.o"
+  "CMakeFiles/mns_util.dir/table.cpp.o.d"
+  "libmns_util.a"
+  "libmns_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mns_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
