@@ -1,0 +1,25 @@
+#include "audit/audit.hpp"
+
+namespace mns::audit::detail {
+
+namespace {
+std::string location(const char* file, int line) {
+  return std::string(file) + ":" + std::to_string(line);
+}
+}  // namespace
+
+void fail(const char* file, int line, const char* expr,
+          const std::string& msg) {
+  throw AuditError(location(file, line) + ": audit failed: " + expr +
+                   (msg.empty() ? "" : " — " + msg));
+}
+
+std::string eq_message(const char* file, int line, const char* lhs_expr,
+                       const char* rhs_expr, const std::string& lhs,
+                       const std::string& rhs, const std::string& msg) {
+  return location(file, line) + ": audit failed: " + lhs_expr + " (" + lhs +
+         ") != " + rhs_expr + " (" + rhs + ")" +
+         (msg.empty() ? "" : " — " + msg);
+}
+
+}  // namespace mns::audit::detail

@@ -1,0 +1,98 @@
+// Invariant-audit layer: loud assertions for the simulator's bookkeeping.
+//
+// The paper's conclusions rest on mechanism-level accounting being exactly
+// right (pin-down cache bytes, per-QP memory, request completion), and the
+// DES implements those mechanisms in hand-written coroutine code. This
+// header provides the inline half of the correctness tooling:
+//
+//   MNS_AUDIT(cond, msg)       hot-path assertion
+//   MNS_AUDIT_EQ(a, b, msg)    equality assertion that prints both values
+//
+// Both compile to nothing unless the build defines MNS_AUDIT_ENABLED
+// (CMake: -DMNS_AUDIT=ON); in audit builds a violation throws AuditError
+// carrying file:line and the failed expression. The disabled form still
+// type-checks its operands (inside an `if (false)`), so audit expressions
+// cannot rot in release builds.
+//
+// The finalize-time half — conservation checks components register and a
+// report aggregates — lives in audit/report.hpp and is always compiled.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace mns::audit {
+
+#if defined(MNS_AUDIT_ENABLED)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// Thrown on any audit violation: by MNS_AUDIT* in audit builds, and by
+/// AuditReport::require_clean() in every build.
+class AuditError : public std::logic_error {
+ public:
+  explicit AuditError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void fail(const char* file, int line, const char* expr,
+                       const std::string& msg);
+
+std::string eq_message(const char* file, int line, const char* lhs_expr,
+                       const char* rhs_expr, const std::string& lhs,
+                       const std::string& rhs, const std::string& msg);
+
+/// Stringify audit operands without dragging <sstream> into hot headers.
+template <class T>
+  requires std::is_arithmetic_v<T>
+std::string stringify(T v) {
+  return std::to_string(v);
+}
+inline const std::string& stringify(const std::string& s) { return s; }
+inline std::string stringify(const char* s) { return s; }
+
+template <class A, class B>
+void check_eq(const char* file, int line, const A& a, const B& b,
+              const char* lhs_expr, const char* rhs_expr,
+              const std::string& msg) {
+  if (!(a == b)) {
+    throw AuditError(eq_message(file, line, lhs_expr, rhs_expr, stringify(a),
+                                stringify(b), msg));
+  }
+}
+
+}  // namespace detail
+}  // namespace mns::audit
+
+#if defined(MNS_AUDIT_ENABLED)
+#define MNS_AUDIT(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::mns::audit::detail::fail(__FILE__, __LINE__, #cond, (msg));   \
+    }                                                                 \
+  } while (0)
+#define MNS_AUDIT_EQ(lhs, rhs, msg)                                   \
+  ::mns::audit::detail::check_eq(__FILE__, __LINE__, (lhs), (rhs),    \
+                                 #lhs, #rhs, (msg))
+#else
+// Disabled: never evaluated, but still compiled, so operands stay valid.
+#define MNS_AUDIT(cond, msg)                  \
+  do {                                        \
+    if (false) {                              \
+      (void)(cond);                           \
+      (void)(msg);                            \
+    }                                         \
+  } while (0)
+#define MNS_AUDIT_EQ(lhs, rhs, msg)           \
+  do {                                        \
+    if (false) {                              \
+      (void)((lhs) == (rhs));                 \
+      (void)(msg);                            \
+    }                                         \
+  } while (0)
+#endif

@@ -1,0 +1,44 @@
+#include "audit/report.hpp"
+
+namespace mns::audit {
+
+void AuditReport::Scope::fail(std::string message) {
+  report_->violations_.push_back(
+      Violation{component_, std::move(message)});
+}
+
+void AuditReport::add_check(std::string component, Check fn) {
+  checks_.push_back(Entry{std::move(component), std::move(fn)});
+}
+
+const std::vector<AuditReport::Violation>& AuditReport::run() {
+  violations_.clear();
+  for (const auto& entry : checks_) {
+    Scope scope(*this, entry.component);
+    try {
+      entry.fn(scope);
+    } catch (const std::exception& e) {
+      scope.fail(std::string("check aborted: ") + e.what());
+    }
+  }
+  return violations_;
+}
+
+void AuditReport::require_clean() {
+  run();
+  if (!violations_.empty()) throw AuditError(summary());
+}
+
+std::string AuditReport::summary() const {
+  if (violations_.empty()) {
+    return "audit clean (" + std::to_string(checks_.size()) + " checks)";
+  }
+  std::string out = "audit found " + std::to_string(violations_.size()) +
+                    " violation(s):";
+  for (const auto& v : violations_) {
+    out += "\n  [" + v.component + "] " + v.message;
+  }
+  return out;
+}
+
+}  // namespace mns::audit

@@ -91,7 +91,13 @@ Cluster::Cluster(const ClusterConfig& cfg)
   }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // Suspended rank coroutines (e.g. after a DeadlockError run) hold
+  // MpiScope/Request locals referencing mpi_ and the fabrics. Destroy
+  // their frames while those members are still alive; member destruction
+  // order alone would tear down mpi_ first.
+  eng_->drop_processes();
+}
 
 sim::Time Cluster::run(RankMain rank_main) {
   const sim::Time start = eng_->now();
@@ -102,7 +108,20 @@ sim::Time Cluster::run(RankMain rank_main) {
     }(rank_main, *comm));
   }
   eng_->run();
+  if constexpr (audit::kEnabled) {
+    make_audit_report().require_clean();
+  }
   return eng_->now() - start;
+}
+
+audit::AuditReport Cluster::make_audit_report() {
+  audit::AuditReport report;
+  eng_->register_audits(report);
+  if (ib_) ib_->register_audits(report);
+  if (gm_) gm_->register_audits(report);
+  if (elan_) elan_->register_audits(report);
+  mpi_->register_audits(report);
+  return report;
 }
 
 }  // namespace mns::cluster

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/report.hpp"
 #include "elan/elan_fabric.hpp"
 #include "gm/gm_fabric.hpp"
 #include "ib/ib_fabric.hpp"
@@ -67,7 +68,13 @@ class Cluster {
   /// Run `rank_main` on every rank to completion; returns elapsed
   /// simulated time for this run. May be called repeatedly (time
   /// accumulates; caches stay warm — like consecutive trials in one job).
+  /// In audit builds (MNS_AUDIT=ON) every run finishes with a finalize
+  /// audit: any broken conservation law throws audit::AuditError.
   sim::Time run(RankMain rank_main);
+
+  /// Finalize-time invariant report over every layer (engine, fabric,
+  /// pin-down caches, MPI). Call after run(); see audit/report.hpp.
+  audit::AuditReport make_audit_report();
 
   sim::Engine& engine() { return *eng_; }
   mpi::Mpi& mpi() { return *mpi_; }

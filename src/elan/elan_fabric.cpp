@@ -1,6 +1,9 @@
 #include "elan/elan_fabric.hpp"
 
 #include <memory>
+#include <string>
+
+#include "audit/report.hpp"
 
 namespace mns::elan {
 
@@ -88,6 +91,20 @@ void ElanFabric::on_posted(const model::NetMsg& msg) {
 
 void ElanFabric::on_delivered(const model::NetMsg& msg) {
   --outstanding_[static_cast<std::size_t>(msg.src)];
+}
+
+void ElanFabric::register_audits(audit::AuditReport& report) {
+  NetFabric::register_audits(report);
+  report.add_check("elan::ElanFabric", [this](audit::AuditReport::Scope& s) {
+    for (std::size_t n = 0; n < node_count(); ++n) {
+      s.require_eq(outstanding_[n], std::size_t{0},
+                   "node " + std::to_string(n) +
+                       ": QDMA descriptor(s) never retired");
+      s.require_eq(memory_bytes(static_cast<int>(n)), cfg_.memory_bytes,
+                   "node " + std::to_string(n) +
+                       ": Elan memory footprint is not flat");
+    }
+  });
 }
 
 void ElanFabric::post_hw_broadcast(int src, std::uint64_t bytes,

@@ -73,6 +73,10 @@ class ElanFabric final : public model::NetFabric {
 
   const ElanConfig& config() const { return cfg_; }
 
+  /// Adds Elan-specific invariants: no leaked QDMA descriptors (every
+  /// posted send retired) and the flat Quadrics memory footprint.
+  void register_audits(audit::AuditReport& report) override;
+
  protected:
   sim::Time tx_setup(const model::NetMsg& msg) override;
   sim::Time tx_stall(const model::NetMsg& msg) override;

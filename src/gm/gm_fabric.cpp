@@ -1,5 +1,9 @@
 #include "gm/gm_fabric.hpp"
 
+#include <string>
+
+#include "audit/report.hpp"
+
 namespace mns::gm {
 
 GmConfig default_gm_config(std::size_t nodes) {
@@ -55,6 +59,24 @@ GmFabric::GmFabric(sim::Engine& eng, std::vector<model::NodeHw*> nodes,
 }
 
 std::uint64_t GmFabric::memory_bytes(int) const { return cfg_.memory_bytes; }
+
+void GmFabric::register_audits(audit::AuditReport& report) {
+  NetFabric::register_audits(report);
+  report.add_check("gm::GmFabric", [this](audit::AuditReport::Scope& s) {
+    for (std::size_t n = 0; n < node_count(); ++n) {
+      // GM ports are connectionless: the footprint never grows (Fig. 13).
+      s.require_eq(memory_bytes(static_cast<int>(n)), cfg_.memory_bytes,
+                   "node " + std::to_string(n) +
+                       ": GM memory footprint is not flat");
+      s.require(sram_[n]->idle(), "node " + std::to_string(n) +
+                                      ": SRAM staging busy at finalize");
+    }
+  });
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    regcache_[n].register_audits(
+        report, "gm::regcache[node " + std::to_string(n) + "]");
+  }
+}
 
 model::Pipe* GmFabric::staging_pipe(int node_id, const model::NetMsg& msg) {
   // Small messages fit comfortably in SRAM buffers; only bulk transfers

@@ -49,6 +49,10 @@ class GmFabric final : public model::NetFabric {
 
   const GmConfig& config() const { return cfg_; }
 
+  /// Adds GM-specific invariants: flat per-node memory (connectionless
+  /// ports), idle SRAM staging, and pin-down cache conservation laws.
+  void register_audits(audit::AuditReport& report) override;
+
  protected:
   model::Pipe* staging_pipe(int node_id, const model::NetMsg& msg) override;
 

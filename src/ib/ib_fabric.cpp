@@ -1,5 +1,9 @@
 #include "ib/ib_fabric.hpp"
 
+#include <string>
+
+#include "audit/report.hpp"
+
 namespace mns::ib {
 
 IbConfig default_ib_config(std::size_t nodes) {
@@ -55,6 +59,40 @@ std::uint64_t IbFabric::memory_bytes(int node) const {
           ? connected_[static_cast<std::size_t>(node)].size()
           : (node_count() > 0 ? node_count() - 1 : 0);
   return cfg_.base_memory_bytes + peers * cfg_.per_qp_memory_bytes;
+}
+
+void IbFabric::register_audits(audit::AuditReport& report) {
+  NetFabric::register_audits(report);
+  report.add_check("ib::IbFabric", [this](audit::AuditReport::Scope& s) {
+    for (std::size_t n = 0; n < node_count(); ++n) {
+      const std::string node = "node " + std::to_string(n);
+      s.require(connected_[n].size() <= node_count() - 1,
+                node + ": more RC connections than peers");
+      for (const int peer : connected_[n]) {
+        s.require(peer != static_cast<int>(n),
+                  node + ": RC connection to itself");
+        const bool symmetric =
+            connected_[static_cast<std::size_t>(peer)].count(
+                static_cast<int>(n)) > 0;
+        s.require(symmetric, node + ": RC connection to node " +
+                                 std::to_string(peer) +
+                                 " is not symmetric");
+      }
+      // Fig. 13: memory = base + per-QP * connections (all-to-all when
+      // connections are eager, contacted peers when on-demand).
+      const std::uint64_t peers =
+          cfg_.on_demand_connections ? connected_[n].size()
+                                     : node_count() - 1;
+      s.require_eq(memory_bytes(static_cast<int>(n)),
+                   cfg_.base_memory_bytes +
+                       peers * cfg_.per_qp_memory_bytes,
+                   node + ": memory footprint off the Fig. 13 formula");
+    }
+  });
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    regcache_[n].register_audits(
+        report, "ib::regcache[node " + std::to_string(n) + "]");
+  }
 }
 
 sim::Time IbFabric::tx_setup(const model::NetMsg& msg) {

@@ -63,6 +63,11 @@ class IbFabric final : public model::NetFabric {
 
   const IbConfig& config() const { return cfg_; }
 
+  /// Adds IB-specific invariants to the fabric checks: RC connection
+  /// symmetry, per-QP memory matching the Fig. 13 formula, and the
+  /// per-node pin-down cache conservation laws.
+  void register_audits(audit::AuditReport& report) override;
+
  protected:
   sim::Time tx_setup(const model::NetMsg& msg) override;
 

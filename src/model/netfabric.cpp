@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "audit/report.hpp"
+
 namespace mns::model {
 
 NetFabric::NetFabric(sim::Engine& eng, std::vector<NodeHw*> nodes,
@@ -32,6 +34,7 @@ NetFabric::NetFabric(sim::Engine& eng, std::vector<NodeHw*> nodes,
 }
 
 void NetFabric::post(NetMsg msg) {
+  ++posted_;
   on_posted(msg);
   sendq_[static_cast<std::size_t>(msg.src)]->send(std::move(msg));
 }
@@ -148,6 +151,7 @@ sim::Task<void> NetFabric::packet_tail(std::uint64_t pkt,
 void NetFabric::post_switch_broadcast(int src, std::uint64_t bytes,
                                       sim::Time extra_setup,
                                       std::function<void()> on_delivered) {
+  ++bcasts_posted_;
   auto task = [](NetFabric& self, int src, std::uint64_t bytes,
                  sim::Time extra_setup,
                  std::function<void()> on_delivered) -> sim::Task<void> {
@@ -162,6 +166,7 @@ void NetFabric::post_switch_broadcast(int src, std::uint64_t bytes,
     };
     const std::size_t peers = self.node_count() - 1;
     if (peers == 0) {
+      ++self.bcasts_delivered_;
       if (on_delivered) on_delivered();
       co_return;
     }
@@ -179,10 +184,29 @@ void NetFabric::post_switch_broadcast(int src, std::uint64_t bytes,
                        /*daemon=*/true);
     }
     co_await fan->done.wait();
+    ++self.bcasts_delivered_;
     if (on_delivered) on_delivered();
   };
   eng_->spawn(task(*this, src, bytes, extra_setup, std::move(on_delivered)),
               /*daemon=*/true);
+}
+
+void NetFabric::register_audits(audit::AuditReport& report) {
+  report.add_check("model::NetFabric", [this](audit::AuditReport::Scope& s) {
+    s.require_eq(posted_, delivered_,
+                 "message(s) posted but never delivered");
+    s.require_eq(bcasts_posted_, bcasts_delivered_,
+                 "switch broadcast(s) posted but never completed");
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const std::string node = "node " + std::to_string(i);
+      s.require(tx_[i]->idle(), node + ": tx pipe busy at finalize");
+      s.require(rx_[i]->idle(), node + ": rx pipe busy at finalize");
+      s.require(nic_proc_[i]->idle(),
+                node + ": NIC protocol processor busy at finalize");
+      s.require(sendq_[i]->empty(),
+                node + ": send queue not drained at finalize");
+    }
+  });
 }
 
 }  // namespace mns::model

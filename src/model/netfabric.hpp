@@ -29,6 +29,10 @@
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 
+namespace mns::audit {
+class AuditReport;
+}
+
 namespace mns::model {
 
 /// One message travelling the fabric. Callbacks are how the MPI device
@@ -85,7 +89,13 @@ class NetFabric {
   SwitchTopology& topology() { return *topo_; }
   const NicConfig& nic_config() const { return nic_; }
 
+  std::uint64_t messages_posted() const { return posted_; }
   std::uint64_t messages_delivered() const { return delivered_; }
+
+  /// Finalize-time conservation checks: every posted message delivered,
+  /// every broadcast completed, all NIC/switch stages idle. Subclasses
+  /// extend with their own invariants (per-QP memory, DMA descriptors).
+  virtual void register_audits(audit::AuditReport& report);
 
   /// Switch-level multicast: one injection from `src`'s NIC, replicated by
   /// the crossbar to every other node (Elite hardware broadcast; IB
@@ -135,7 +145,10 @@ class NetFabric {
   std::vector<std::unique_ptr<Pipe>> rx_;
   std::vector<std::unique_ptr<Pipe>> nic_proc_;  // shared protocol processor
   std::vector<std::unique_ptr<sim::Mailbox<NetMsg>>> sendq_;
+  std::uint64_t posted_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t bcasts_posted_ = 0;
+  std::uint64_t bcasts_delivered_ = 0;
 };
 
 }  // namespace mns::model

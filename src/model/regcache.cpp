@@ -1,5 +1,8 @@
 #include "model/regcache.hpp"
 
+#include "audit/audit.hpp"
+#include "audit/report.hpp"
+
 namespace mns::model {
 
 sim::Time RegistrationCache::register_cost(std::uint64_t bytes) const {
@@ -10,6 +13,7 @@ sim::Time RegistrationCache::register_cost(std::uint64_t bytes) const {
 }
 
 sim::Time RegistrationCache::acquire(std::uint64_t addr, std::uint64_t bytes) {
+  ++acquires_;
   const auto it = regions_.find(addr);
   if (it != regions_.end() && it->second.bytes >= bytes) {
     ++hits_;
@@ -23,9 +27,12 @@ sim::Time RegistrationCache::acquire(std::uint64_t addr, std::uint64_t bytes) {
   sim::Time cost;
   if (it != regions_.end()) {
     // Same base address but longer extent: re-register the region.
+    MNS_AUDIT(pinned_bytes_ >= it->second.bytes,
+              "regcache: pinned_bytes underflow on re-registration");
     pinned_bytes_ -= it->second.bytes;
     lru_.erase(it->second.lru_pos);
     regions_.erase(it);
+    ++reregisters_;
     cost += cfg_.deregister_cost;
   }
 
@@ -34,6 +41,8 @@ sim::Time RegistrationCache::acquire(std::uint64_t addr, std::uint64_t bytes) {
     const std::uint64_t victim = lru_.back();
     lru_.pop_back();
     const auto vit = regions_.find(victim);
+    MNS_AUDIT(vit != regions_.end(),
+              "regcache: LRU victim has no region entry");
     pinned_bytes_ -= vit->second.bytes;
     regions_.erase(vit);
     cost += cfg_.deregister_cost;
@@ -48,9 +57,44 @@ sim::Time RegistrationCache::acquire(std::uint64_t addr, std::uint64_t bytes) {
 }
 
 void RegistrationCache::clear() {
+  cleared_regions_ += regions_.size();
   regions_.clear();
   lru_.clear();
   pinned_bytes_ = 0;
+}
+
+void RegistrationCache::register_audits(audit::AuditReport& report,
+                                        std::string name) const {
+  report.add_check(std::move(name), [this](audit::AuditReport::Scope& s) {
+    std::uint64_t live_bytes = 0;
+    for (const auto& [addr, region] : regions_) live_bytes += region.bytes;
+    s.require_eq(live_bytes, pinned_bytes_,
+                 "pinned_bytes out of sync with live regions");
+    s.require_eq(lru_.size(), regions_.size(),
+                 "LRU list and region map diverged");
+    for (const std::uint64_t addr : lru_) {
+      const auto it = regions_.find(addr);
+      if (it == regions_.end()) {
+        s.fail("LRU entry " + std::to_string(addr) + " has no region");
+      } else {
+        s.require(*it->second.lru_pos == addr,
+                  "region's lru_pos does not point at its LRU entry");
+      }
+    }
+    s.require_eq(hits_ + misses_, acquires_,
+                 "hits + misses != acquires");
+    s.require_eq(misses_,
+                 regions_.size() + evictions_ + reregisters_ +
+                     cleared_regions_,
+                 "region conservation broken: every miss inserts one "
+                 "region; inserts must equal live + evicted + "
+                 "re-registered + cleared");
+    s.require(pinned_bytes_ <= cfg_.capacity_bytes || regions_.size() == 1,
+              "pinned_bytes " + std::to_string(pinned_bytes_) +
+                  " exceeds capacity " +
+                  std::to_string(cfg_.capacity_bytes) +
+                  " with more than one region resident");
+  });
 }
 
 }  // namespace mns::model

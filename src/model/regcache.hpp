@@ -14,9 +14,14 @@
 
 #include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
 
 #include "sim/time.hpp"
+
+namespace mns::audit {
+class AuditReport;
+}
 
 namespace mns::model {
 
@@ -38,6 +43,7 @@ class RegistrationCache {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t acquires() const { return acquires_; }
   std::uint64_t pinned_bytes() const { return pinned_bytes_; }
   std::uint64_t evictions() const { return evictions_; }
 
@@ -45,6 +51,20 @@ class RegistrationCache {
   void clear();
 
   const RegCacheConfig& config() const { return cfg_; }
+
+  /// Finalize-time conservation checks (see audit/report.hpp):
+  /// pinned_bytes == sum of live regions, hits + misses == acquires,
+  /// region count conserved across inserts/evictions/clears, and the
+  /// pinned total respects capacity (one oversized region excepted).
+  void register_audits(audit::AuditReport& report, std::string name) const;
+
+#if defined(MNS_AUDIT_ENABLED)
+  /// Fault injection for audit tests only: desynchronize the pinned-byte
+  /// counter from the live regions, as a lost deregistration would.
+  void debug_leak_pinned_for_test(std::uint64_t bytes) {
+    pinned_bytes_ += bytes;
+  }
+#endif
 
  private:
   struct Region {
@@ -60,7 +80,10 @@ class RegistrationCache {
   std::uint64_t pinned_bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t acquires_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t reregisters_ = 0;     // same-base re-registrations (extent grew)
+  std::uint64_t cleared_regions_ = 0;  // regions dropped by clear()
 };
 
 }  // namespace mns::model

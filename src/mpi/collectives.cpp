@@ -93,7 +93,7 @@ sim::Task<void> Comm::bcast_impl(View buf, Rank root) {
   if (mpi_->device().has_hw_broadcast()) {
     auto& slot = mpi_->collective_slot(seq);
     if (rank_ == root) {
-      slot.payload = buf;
+      slot.stage_payload(buf);
       mpi_->device().hw_broadcast(root, buf.bytes(), buf.addr(),
                                   [&slot] { slot.trig.fire(); });
     }
@@ -182,7 +182,7 @@ sim::Task<void> Comm::allreduce_impl(View buf, std::size_t count, Dtype dtype,
   if (mpi_->device().has_hw_broadcast()) {
     auto& slot = mpi_->collective_slot(seq);
     if (rank_ == 0) {
-      slot.payload = buf;
+      slot.stage_payload(buf);
       mpi_->device().hw_broadcast(0, buf.bytes(), buf.addr(),
                                   [&slot] { slot.trig.fire(); });
     }

@@ -86,7 +86,8 @@ sim::Task<Request> Comm::isend_impl(View buf, Rank dst, Tag tag,
   sim::MpiScope scope(p.cpu());
   p.drain_deferred();
 
-  auto req = std::make_shared<RequestState>(mpi_->engine());
+  auto req = std::make_shared<RequestState>(mpi_->engine(),
+                                            &mpi_->request_ledger());
   SendOp op;
   op.env = Envelope{rank_, dst, tag, buf.bytes()};
   op.buf = buf;
@@ -105,7 +106,8 @@ sim::Task<Request> Comm::irecv_impl(View buf, Rank src, Tag tag,
   const sim::Time post_cost = mpi_->device().recv_post_cost();
   if (post_cost > sim::Time::zero()) co_await p.cpu().busy(post_cost);
 
-  auto req = std::make_shared<RequestState>(mpi_->engine());
+  auto req = std::make_shared<RequestState>(mpi_->engine(),
+                                            &mpi_->request_ledger());
   PostedRecv pr{src, tag, buf, req};
   if (auto u = p.matcher().match_posted(src, tag)) {
     co_await u->claim(std::move(pr));
@@ -214,7 +216,8 @@ sim::Task<void> Comm::ssend(View buf, Rank dst, Tag tag) {
   {
     sim::MpiScope scope(p.cpu());
     p.drain_deferred();
-    auto req = std::make_shared<RequestState>(mpi_->engine());
+    auto req = std::make_shared<RequestState>(mpi_->engine(),
+                                            &mpi_->request_ledger());
     SendOp op;
     op.env = Envelope{rank_, dst, tag, buf.bytes()};
     op.buf = buf;

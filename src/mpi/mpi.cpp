@@ -1,0 +1,31 @@
+#include "mpi/mpi.hpp"
+
+#include <string>
+
+#include "audit/report.hpp"
+
+namespace mns::mpi {
+
+void Mpi::register_audits(audit::AuditReport& report) {
+  report.add_check("mpi::Mpi", [this](audit::AuditReport::Scope& s) {
+    s.require_eq(ledger_.created, ledger_.completed,
+                 "request(s) created but never completed");
+    s.require_eq(ledger_.double_completed, std::uint64_t{0},
+                 "request(s) completed more than once");
+    for (const auto& proc : procs_) {
+      const std::string rank = "rank " + std::to_string(proc->rank());
+      s.require_eq(proc->matcher().unexpected_count(), std::size_t{0},
+                   rank + ": orphaned unexpected message(s) at finalize");
+      s.require_eq(proc->matcher().posted_count(), std::size_t{0},
+                   rank + ": posted receive(s) never matched");
+      s.require_eq(proc->deferred_pending(), std::size_t{0},
+                   rank + ": deferred protocol action(s) never drained");
+      s.require(!proc->cpu().in_mpi(),
+                rank + ": still inside an MPI call at finalize");
+    }
+    s.require_eq(slots_.size(), std::size_t{0},
+                 "collective slot(s) left open at finalize");
+  });
+}
+
+}  // namespace mns::mpi

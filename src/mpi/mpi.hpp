@@ -14,6 +14,10 @@
 #include "prof/trace.hpp"
 #include "sim/engine.hpp"
 
+namespace mns::audit {
+class AuditReport;
+}
+
 namespace mns::mpi {
 
 struct Topology {
@@ -72,19 +76,44 @@ class Mpi {
 
   prof::Recorder& recorder() { return recorder_; }
 
+  /// Request-completion conservation ledger; every RequestState the job
+  /// creates reports into it (see request.hpp).
+  RequestLedger& request_ledger() { return ledger_; }
+
+  /// Finalize-time conservation checks over the whole MPI layer: every
+  /// request completed exactly once, matcher queues empty (no orphaned
+  /// unexpected messages, no dangling posted receives), deferred protocol
+  /// work drained, no rank still inside an MPI call, and no collective
+  /// slot left open.
+  void register_audits(audit::AuditReport& report);
+
   /// Optional execution tracer (timeline recording); null disables.
   void set_tracer(prof::Tracer* t) { tracer_ = t; }
   prof::Tracer* tracer() const { return tracer_; }
 
   /// Collective-coordination slot (used for the Elan hardware-broadcast
   /// fast path): every rank arrives at collective #seq; the root's
-  /// broadcast completion releases them all, and the payload view lets
+  /// broadcast completion releases them all, and the payload lets
   /// non-roots copy real broadcast data out.
   struct CollSlot {
     explicit CollSlot(sim::Engine& e) : trig(e) {}
+    /// The root's buffer may die before the last rank resumes (the root
+    /// returns from its bcast as soon as the hardware has the data), so
+    /// stage the payload bytes in the slot rather than aliasing the
+    /// root's view.
+    void stage_payload(const View& buf) {
+      payload = buf;
+      if (!buf.synthetic()) {
+        staged_.assign(buf.data(), buf.data() + buf.bytes());
+        payload = View::in(staged_.data(), buf.bytes());
+      }
+    }
     sim::Trigger trig;
     View payload;
     int arrived = 0;
+
+   private:
+    std::vector<std::byte> staged_;
   };
 
   CollSlot& collective_slot(std::uint64_t seq) {
@@ -100,6 +129,7 @@ class Mpi {
   sim::Engine* eng_;
   Topology topo_;
   prof::Recorder recorder_;
+  RequestLedger ledger_;
   std::vector<std::unique_ptr<Proc>> procs_;
   std::unique_ptr<Device> device_;
   prof::Tracer* tracer_ = nullptr;

@@ -56,6 +56,7 @@ class Proc {
   }
 
   std::uint64_t deferred_total() const { return deferred_total_; }
+  std::size_t deferred_pending() const { return deferred_.size(); }
 
  private:
   sim::Cpu cpu_;

@@ -1,18 +1,42 @@
 // Non-blocking request handles.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
+#include "audit/audit.hpp"
 #include "mpi/types.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 
 namespace mns::mpi {
 
+/// Conservation bookkeeping for requests, owned by the Mpi job: at
+/// finalize every created request must be completed exactly once. The
+/// double-complete count makes the violation visible in every build; in
+/// audit builds the MNS_AUDIT in complete() additionally throws at the
+/// offending call site.
+struct RequestLedger {
+  std::uint64_t created = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t double_completed = 0;
+};
+
 struct RequestState {
-  explicit RequestState(sim::Engine& eng) : trig(eng) {}
+  explicit RequestState(sim::Engine& eng, RequestLedger* ledger = nullptr)
+      : trig(eng), ledger(ledger) {
+    if (ledger) ++ledger->created;
+  }
 
   void complete(const Status& s) {
+    MNS_AUDIT(!done, "RequestState completed twice");
+    if (ledger) {
+      if (done) {
+        ++ledger->double_completed;
+      } else {
+        ++ledger->completed;
+      }
+    }
     status = s;
     done = true;
     trig.fire();
@@ -21,6 +45,7 @@ struct RequestState {
   bool done = false;
   Status status{};
   sim::Trigger trig;
+  RequestLedger* ledger = nullptr;
 };
 
 /// Shared handle; copyable like an MPI_Request. A default-constructed

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "audit/report.hpp"
+
 namespace mns::sim {
 
 // Root coroutine wrapper: owns the process Task, reports completion and
@@ -40,10 +42,21 @@ namespace {
 Engine::Root make_root(Task<> t) { co_await t; }
 }  // namespace
 
-Engine::~Engine() {
-  for (auto h : roots_) {
+Engine::~Engine() { drop_processes(); }
+
+void Engine::drop_processes() {
+  // Swap out roots_ first: destroying a frame can (transitively) destroy
+  // Tasks that are themselves roots-in-waiting, and must not observe a
+  // half-cleared vector.
+  std::vector<std::coroutine_handle<>> roots = std::move(roots_);
+  roots_.clear();
+  for (auto h : roots) {
     if (h) h.destroy();
   }
+  // Pending event callbacks capture handles into the frames just
+  // destroyed; drop them unrun.
+  heap_.clear();
+  live_ = 0;
 }
 
 void Engine::after(Time delay, std::function<void()> fn) {
@@ -74,6 +87,15 @@ bool Engine::step() {
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
   Event ev = std::move(heap_.back());
   heap_.pop_back();
+#if defined(MNS_AUDIT_ENABLED)
+  MNS_AUDIT(ev.at >= now_, "event time regressed behind the clock");
+  MNS_AUDIT(events_processed_ == 0 || ev.at > audit_last_at_ ||
+                (ev.at == audit_last_at_ && ev.seq > audit_last_seq_),
+            "determinism tie-break violated: equal-time events must pop "
+            "in schedule (seq) order");
+  audit_last_at_ = ev.at;
+  audit_last_seq_ = ev.seq;
+#endif
   now_ = ev.at;
   ++events_processed_;
   ev.fn();
@@ -122,6 +144,16 @@ void Engine::retire(std::coroutine_handle<> h) {
 
 void Engine::process_failed(std::exception_ptr e) {
   if (!failure_) failure_ = e;
+}
+
+void Engine::register_audits(audit::AuditReport& report) {
+  report.add_check("sim::Engine", [this](audit::AuditReport::Scope& s) {
+    s.require_eq(heap_.size(), std::size_t{0},
+                 "event queue not drained at finalize");
+    s.require_eq(live_, std::size_t{0},
+                 "non-daemon process(es) still live at finalize");
+    s.require(now_ >= Time::zero(), "clock below zero at finalize");
+  });
 }
 
 }  // namespace mns::sim

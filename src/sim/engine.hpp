@@ -14,8 +14,13 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+
+namespace mns::audit {
+class AuditReport;
+}
 
 namespace mns::sim {
 
@@ -89,6 +94,24 @@ class Engine {
   /// (default: effectively unlimited).
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
+  /// Finalize-time conservation checks: event queue drained, no live
+  /// non-daemon process. Register after the simulation has run.
+  void register_audits(audit::AuditReport& report);
+
+  /// Destroy every suspended process frame and drop pending events.
+  /// Owners embedding an Engine next to the objects its processes
+  /// reference (Cluster: MPI state, fabrics, node hardware) must call
+  /// this before those objects die — frame-local destructors (MpiScope,
+  /// Requests) run here and touch them. Idempotent; ~Engine covers the
+  /// standalone case.
+  void drop_processes();
+
+#if defined(MNS_AUDIT_ENABLED)
+  /// Fault injection for audit tests only: force the clock forward so the
+  /// next event pop trips the time-monotonicity audit in step().
+  void debug_warp_clock_for_test(Time t) { now_ = t; }
+#endif
+
   struct Root;  // root coroutine wrapper; public for the factory coroutine
 
  private:
@@ -109,6 +132,10 @@ class Engine {
 
   std::vector<Event> heap_;
   Time now_;
+  // Shadow order tracking: audit builds verify in step() that events pop
+  // in strict (time, seq) order — the determinism contract.
+  Time audit_last_at_;
+  std::uint64_t audit_last_seq_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t event_limit_ = UINT64_MAX;

@@ -11,6 +11,8 @@
 #include <exception>
 #include <utility>
 
+#include "audit/audit.hpp"
+
 namespace mns::sim {
 
 namespace detail {
@@ -64,7 +66,11 @@ class [[nodiscard]] Task {
 
   struct Awaiter {
     std::coroutine_handle<promise_type> h;
-    bool await_ready() const noexcept { return false; }
+    bool await_ready() const noexcept(!audit::kEnabled) {
+      MNS_AUDIT(h, "co_await on a moved-from/empty Task");
+      MNS_AUDIT(!h.done(), "Task co_awaited more than once");
+      return false;
+    }
     std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
       h.promise().continuation = cont;
       return h;  // start the child coroutine
@@ -113,7 +119,11 @@ class [[nodiscard]] Task<void> {
 
   struct Awaiter {
     std::coroutine_handle<promise_type> h;
-    bool await_ready() const noexcept { return false; }
+    bool await_ready() const noexcept(!audit::kEnabled) {
+      MNS_AUDIT(h, "co_await on a moved-from/empty Task");
+      MNS_AUDIT(!h.done(), "Task co_awaited more than once");
+      return false;
+    }
     std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
       h.promise().continuation = cont;
       return h;

@@ -1,0 +1,293 @@
+// Invariant-audit layer: the checks must pass on healthy runs and —
+// crucially — actually fire on injected faults. Each audit class gets a
+// deliberate violation here: a leaked registration, a double-completed
+// request, a clock warp, an orphaned unexpected message, a posted receive
+// that never matches. Tests that need the hot-path MNS_AUDIT macros or
+// the fault-injection hooks are skipped in non-audit builds; the
+// finalize-time AuditReport works in every build and is tested in all.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "audit/report.hpp"
+#include "cluster/cluster.hpp"
+#include "model/regcache.hpp"
+#include "mpi/request.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace mns;
+using audit::AuditError;
+using audit::AuditReport;
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::Net;
+using mpi::Comm;
+using mpi::View;
+using sim::Engine;
+using sim::Task;
+using sim::Time;
+
+bool any_violation_mentions(const AuditReport& report, const std::string& what) {
+  for (const auto& v : report.violations()) {
+    if (v.message.find(what) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// --- AuditReport mechanics --------------------------------------------------
+
+TEST(AuditReport, CleanWhenEveryCheckPasses) {
+  AuditReport report;
+  report.add_check("alpha", [](AuditReport::Scope& s) {
+    s.require(true, "never fires");
+    s.require_eq(3, 3, "equal");
+  });
+  report.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_NO_THROW(report.require_clean());
+}
+
+TEST(AuditReport, CollectsViolationsWithComponentAndValues) {
+  AuditReport report;
+  report.add_check("regcache", [](AuditReport::Scope& s) {
+    s.require_eq(std::uint64_t{4096}, std::uint64_t{8192}, "pinned mismatch");
+    s.require(false, "also broken");
+  });
+  report.run();
+  ASSERT_EQ(report.violations().size(), 2u);
+  EXPECT_EQ(report.violations()[0].component, "regcache");
+  // Both observed values must appear so the report is actionable.
+  EXPECT_NE(report.violations()[0].message.find("4096"), std::string::npos);
+  EXPECT_NE(report.violations()[0].message.find("8192"), std::string::npos);
+  EXPECT_THROW(report.require_clean(), AuditError);
+}
+
+TEST(AuditReport, CheckThatThrowsBecomesAViolationNotACrash) {
+  AuditReport report;
+  report.add_check("flaky", [](AuditReport::Scope&) {
+    throw std::runtime_error("component exploded");
+  });
+  report.run();
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(any_violation_mentions(report, "component exploded"));
+}
+
+// --- hot-path macros (audit builds only) ------------------------------------
+
+TEST(AuditMacro, FiresWithExpressionAndMessage) {
+  if constexpr (!audit::kEnabled) {
+    GTEST_SKIP() << "MNS_AUDIT compiled out (configure with -DMNS_AUDIT=ON)";
+  } else {
+    try {
+      MNS_AUDIT(1 + 1 == 3, "arithmetic is broken");
+      FAIL() << "MNS_AUDIT(false) did not throw";
+    } catch (const AuditError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos);
+      EXPECT_NE(what.find("arithmetic is broken"), std::string::npos);
+    }
+    EXPECT_THROW(MNS_AUDIT_EQ(2, 5, "unequal"), AuditError);
+    EXPECT_NO_THROW(MNS_AUDIT(true, "fine"));
+    EXPECT_NO_THROW(MNS_AUDIT_EQ(7, 7, "fine"));
+  }
+}
+
+// --- registration cache -----------------------------------------------------
+
+model::RegCacheConfig small_regcache_config() {
+  return model::RegCacheConfig{
+      .register_base = Time::us(50),
+      .register_per_page = Time::us(1),
+      .deregister_cost = Time::us(30),
+      .page_bytes = 4096,
+      .capacity_bytes = 64 << 10,
+  };
+}
+
+TEST(RegcacheAudit, HealthyCacheIsClean) {
+  model::RegistrationCache rc(small_regcache_config());
+  // Hit, miss, reuse, eviction, clear — the whole lifecycle.
+  rc.acquire(0x1000, 8 << 10);
+  rc.acquire(0x1000, 8 << 10);            // hit
+  rc.acquire(0x9000, 60 << 10);           // evicts the first
+  rc.acquire(0x1000, 8 << 10);            // re-register after eviction
+  rc.clear();
+  rc.acquire(0x2000, 4 << 10);
+
+  AuditReport report;
+  rc.register_audits(report, "regcache[test]");
+  report.run();
+  EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+TEST(RegcacheAudit, LeakedPinnedBytesTripTheConservationCheck) {
+#if defined(MNS_AUDIT_ENABLED)
+  model::RegistrationCache rc(small_regcache_config());
+  rc.acquire(0x1000, 8 << 10);
+  // A lost deregistration: pinned accounting drifts from the live regions.
+  rc.debug_leak_pinned_for_test(4096);
+
+  AuditReport report;
+  rc.register_audits(report, "regcache[test]");
+  report.run();
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(any_violation_mentions(report, "pinned"));
+  EXPECT_THROW(report.require_clean(), AuditError);
+#else
+  GTEST_SKIP() << "fault-injection hook needs -DMNS_AUDIT=ON";
+#endif
+}
+
+// --- request lifecycle ------------------------------------------------------
+
+TEST(RequestAudit, DoubleCompleteIsDetected) {
+  Engine eng;
+  mpi::RequestLedger ledger;
+  auto st = std::make_shared<mpi::RequestState>(eng, &ledger);
+  st->complete(mpi::Status{});
+  EXPECT_EQ(ledger.created, 1u);
+  EXPECT_EQ(ledger.completed, 1u);
+
+  if constexpr (audit::kEnabled) {
+    // Audit builds catch the bug at the offending call site.
+    EXPECT_THROW(st->complete(mpi::Status{}), AuditError);
+  } else {
+    // Release builds still count it for the finalize report.
+    st->complete(mpi::Status{});
+    EXPECT_EQ(ledger.double_completed, 1u);
+    EXPECT_EQ(ledger.completed, 1u);
+  }
+}
+
+// --- engine -----------------------------------------------------------------
+
+TEST(EngineAudit, DrainedRunIsClean) {
+  Engine eng;
+  eng.spawn([](Engine& e) -> Task<> { co_await e.delay(Time::us(3)); }(eng));
+  eng.run();
+
+  AuditReport report;
+  eng.register_audits(report);
+  report.run();
+  EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+TEST(EngineAudit, ClockWarpTripsTimeMonotonicityAudit) {
+#if defined(MNS_AUDIT_ENABLED)
+  Engine eng;
+  eng.after(Time::us(1), [] {});
+  // Corrupt the clock: the pending event is now in the engine's past.
+  eng.debug_warp_clock_for_test(Time::ms(5));
+  EXPECT_THROW(eng.run(), AuditError);
+#else
+  GTEST_SKIP() << "fault-injection hook needs -DMNS_AUDIT=ON";
+#endif
+}
+
+TEST(EngineAudit, DroppedProcessesLeaveNoLiveCount) {
+  Engine eng;
+  eng.spawn([](Engine& e) -> Task<> {
+    co_await e.delay(Time::seconds(100.0));
+  }(eng));
+  eng.drop_processes();
+
+  AuditReport report;
+  eng.register_audits(report);
+  report.run();
+  EXPECT_TRUE(report.clean()) << report.summary();
+  eng.run();  // empty queue: returns immediately, no deadlock claim
+}
+
+// --- full-stack MPI audits --------------------------------------------------
+
+TEST(MpiAudit, CleanBarrierRunPassesEveryLayerOnAllNets) {
+  for (Net net : {Net::kInfiniBand, Net::kMyrinet, Net::kQuadrics}) {
+    ClusterConfig cfg{.nodes = 4, .net = net};
+    Cluster c(cfg);
+    c.run([](Comm& comm) -> Task<> {
+      std::vector<int> buf(64, comm.rank());
+      co_await comm.allreduce(View::out(buf.data(), buf.size() * 4), 64,
+                              mpi::Dtype::kInt32, mpi::ROp::kSum);
+      co_await comm.barrier();
+    });
+    AuditReport report = c.make_audit_report();
+    report.run();
+    EXPECT_TRUE(report.clean())
+        << cluster::net_name(net) << ": " << report.summary();
+  }
+}
+
+TEST(MpiAudit, OrphanedUnexpectedMessageIsReported) {
+  // Rank 0 sends an eager message nobody ever receives: legal MPI up to
+  // finalize, where it becomes a correctness bug the audit must name.
+  ClusterConfig cfg{.nodes = 2, .net = Net::kInfiniBand};
+  Cluster c(cfg);
+  auto program = [](Comm& comm) -> Task<> {
+    if (comm.rank() == 0) {
+      co_await comm.send(View::synth(0xAB00, 256), 1, 9);
+    }
+    // The barrier makes rank 1 re-enter MPI after the eager message has
+    // arrived, draining it from the deferred queue into the matcher's
+    // unexpected queue — where it then rots until finalize.
+    co_await comm.barrier();
+  };
+
+  if constexpr (audit::kEnabled) {
+    EXPECT_THROW(c.run(program), AuditError);
+  } else {
+    c.run(program);
+    AuditReport report = c.make_audit_report();
+    report.run();
+    EXPECT_FALSE(report.clean());
+    EXPECT_TRUE(any_violation_mentions(report, "unexpected"))
+        << report.summary();
+  }
+}
+
+TEST(MpiAudit, PostedReceiveThatNeverMatchesIsReported) {
+  ClusterConfig cfg{.nodes = 2, .net = Net::kMyrinet};
+  Cluster c(cfg);
+  auto program = [](Comm& comm) -> Task<> {
+    if (comm.rank() == 1) {
+      // Post and abandon: the request is never matched or waited on.
+      co_await comm.irecv(View::synth(0xCD00, 128), 0, 3);
+    }
+    co_return;
+  };
+
+  if constexpr (audit::kEnabled) {
+    EXPECT_THROW(c.run(program), AuditError);
+  } else {
+    c.run(program);
+    AuditReport report = c.make_audit_report();
+    report.run();
+    EXPECT_FALSE(report.clean());
+    EXPECT_TRUE(any_violation_mentions(report, "posted"));
+  }
+}
+
+TEST(MpiAudit, HardwareBroadcastPayloadOutlivesTheRootBuffer) {
+  // Regression for the collective-slot lifetime bug: on the hardware
+  // broadcast path (Quadrics) the root used to publish a view of its own
+  // stack buffer; a root that finished early freed it before slower ranks
+  // copied. The slot now stages the bytes, so every rank must observe the
+  // root's data even though the root's buffer is scoped to its coroutine.
+  ClusterConfig cfg{.nodes = 4, .net = Net::kQuadrics};
+  Cluster c(cfg);
+  std::vector<std::vector<int>> got(4);
+  c.run([&got](Comm& comm) -> Task<> {
+    std::vector<int> buf(128, comm.rank() == 0 ? 424242 : 0);
+    co_await comm.bcast(View::out(buf.data(), buf.size() * 4), 0);
+    got[static_cast<std::size_t>(comm.rank())] = buf;
+  });
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_EQ(got[static_cast<std::size_t>(r)].size(), 128u);
+    for (int v : got[static_cast<std::size_t>(r)]) EXPECT_EQ(v, 424242);
+  }
+}
+
+}  // namespace
