@@ -5,13 +5,18 @@
 // a value, it is printed alongside ours.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <iostream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "apps/registry.hpp"
 #include "cluster/cluster.hpp"
 #include "microbench/microbench.hpp"
+#include "sweep/sweep_runner.hpp"
 #include "util/bytes.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -24,6 +29,10 @@ inline const std::vector<cluster::Net> kAllNets{
 
 struct Output {
   bool csv = false;
+  // --jobs N: fan independent simulation points over N threads (0 =
+  // whole machine). Output is bit-identical for every N; see
+  // sweep/sweep_runner.hpp.
+  int jobs = 1;
   void emit(const std::string& title, const util::Table& t) const {
     if (csv) {
       t.print_csv(std::cout);
@@ -39,8 +48,25 @@ inline Output parse_output(int argc, char** argv) {
   util::Flags flags(argc, argv);
   Output out;
   out.csv = flags.get_bool("csv", false);
+  out.jobs = static_cast<int>(flags.get_int("jobs", 1));
   flags.reject_unknown();
   return out;
+}
+
+/// Evaluate fn(net) for the three paper nets, fanned over --jobs. Each
+/// call builds and runs its own private Cluster/Engine on one worker, so
+/// warm-cache calibration inside a series is untouched.
+template <class Fn>
+auto per_net(const Output& out, Fn&& fn)
+    -> std::array<std::invoke_result_t<Fn&, cluster::Net>, 3> {
+  auto v = sweep::SweepRunner(out.jobs).map(kAllNets, fn);
+  return {std::move(v[0]), std::move(v[1]), std::move(v[2])};
+}
+
+/// Fan fn(0) .. fn(n-1) over --jobs; results come back in index order.
+template <class Fn>
+auto sweep_indexed(const Output& out, std::size_t n, Fn&& fn) {
+  return sweep::SweepRunner(out.jobs).run_indexed(n, std::forward<Fn>(fn));
 }
 
 /// Three series (one per net) over a size sweep -> one table.
@@ -61,6 +87,15 @@ inline util::Table series_table(
         .add(qs[i].value, precision);
   }
   return t;
+}
+
+/// series_table over a per_net() result.
+inline util::Table series_table(
+    const char* value_name, const std::vector<std::uint64_t>& sizes,
+    const std::array<std::vector<microbench::Point>, 3>& nets,
+    int precision = 2) {
+  return series_table(value_name, sizes, nets[0], nets[1], nets[2],
+                      precision);
 }
 
 /// Run one registry app at paper scale (skeleton mode) and return the

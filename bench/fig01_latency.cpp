@@ -7,10 +7,9 @@ using namespace mns::bench;
 int main(int argc, char** argv) {
   const Output out = parse_output(argc, argv);
   const auto sizes = util::size_sweep(4, 16 << 10);
-  auto t = series_table(
-      "lat_us", sizes, microbench::latency(cluster::Net::kInfiniBand, sizes),
-      microbench::latency(cluster::Net::kMyrinet, sizes),
-      microbench::latency(cluster::Net::kQuadrics, sizes));
+  const auto [ib, my, qs] = per_net(
+      out, [&](cluster::Net net) { return microbench::latency(net, sizes); });
+  auto t = series_table("lat_us", sizes, ib, my, qs);
   out.emit("Fig 1: MPI latency (us) | paper smalls: IBA 6.8, Myri 6.7, QSN 4.6",
            t);
   return 0;

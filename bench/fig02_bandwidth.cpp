@@ -12,14 +12,14 @@ int main(int argc, char** argv) {
   microbench::Options w4, w16;
   w4.window = 4;
   w16.window = 16;
-  std::vector<std::vector<microbench::Point>> cols;
-  for (auto net : kAllNets) {
-    cols.push_back(microbench::bandwidth(net, sizes, w4));
-    cols.push_back(microbench::bandwidth(net, sizes, w16));
-  }
+  // (net, window) points in column order: net outer, window inner.
+  const auto cols = sweep_indexed(out, 6, [&](std::size_t i) {
+    return microbench::bandwidth(kAllNets[i / 2], sizes,
+                                 i % 2 == 0 ? w4 : w16);
+  });
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     auto& row = t.row().add(util::size_label(sizes[i]));
-    for (auto& c : cols) row.add(c[i].value, 1);
+    for (const auto& c : cols) row.add(c[i].value, 1);
   }
   out.emit(
       "Fig 2: bandwidth (MB/s, MB=2^20) | paper peaks: IBA 841, Myri 235, "

@@ -9,9 +9,9 @@ int main(int argc, char** argv) {
   const auto sizes = util::size_sweep(2, 1024);
   auto t = series_table(
       "ovh_us", sizes,
-      microbench::host_overhead(cluster::Net::kInfiniBand, sizes),
-      microbench::host_overhead(cluster::Net::kMyrinet, sizes),
-      microbench::host_overhead(cluster::Net::kQuadrics, sizes));
+      per_net(out, [&](cluster::Net net) {
+        return microbench::host_overhead(net, sizes);
+      }));
   out.emit("Fig 3: host overhead (us) | paper: Myri 0.8, IBA 1.7, QSN 3.3",
            t);
   return 0;

@@ -9,9 +9,9 @@ int main(int argc, char** argv) {
   const auto sizes = util::size_sweep(4, 4 << 10);
   auto t = series_table(
       "bidir_us", sizes,
-      microbench::bidir_latency(cluster::Net::kInfiniBand, sizes),
-      microbench::bidir_latency(cluster::Net::kMyrinet, sizes),
-      microbench::bidir_latency(cluster::Net::kQuadrics, sizes));
+      per_net(out, [&](cluster::Net net) {
+        return microbench::bidir_latency(net, sizes);
+      }));
   out.emit(
       "Fig 4: bi-directional latency (us) | paper smalls: IBA 7.0, Myri "
       "10.1, QSN 7.4 (ours run lower for Myri/QSN; shape preserved)",

@@ -9,9 +9,10 @@ int main(int argc, char** argv) {
   const auto sizes = util::size_sweep(4, 1 << 20);
   auto t = series_table(
       "bibw_MBs", sizes,
-      microbench::bidir_bandwidth(cluster::Net::kInfiniBand, sizes),
-      microbench::bidir_bandwidth(cluster::Net::kMyrinet, sizes),
-      microbench::bidir_bandwidth(cluster::Net::kQuadrics, sizes), 1);
+      per_net(out, [&](cluster::Net net) {
+        return microbench::bidir_bandwidth(net, sizes);
+      }),
+      1);
   out.emit(
       "Fig 5: bi-directional bandwidth (MB/s) | paper: IBA 900 (PCI-X "
       "bound), Myri 473 dropping <340 past 256K (SRAM), QSN 375 (PCI)",

@@ -9,9 +9,10 @@ int main(int argc, char** argv) {
   const auto sizes = util::size_sweep(4, 64 << 10);
   auto t = series_table(
       "overlap_us", sizes,
-      microbench::overlap_potential(cluster::Net::kInfiniBand, sizes),
-      microbench::overlap_potential(cluster::Net::kMyrinet, sizes),
-      microbench::overlap_potential(cluster::Net::kQuadrics, sizes), 1);
+      per_net(out, [&](cluster::Net net) {
+        return microbench::overlap_potential(net, sizes);
+      }),
+      1);
   out.emit(
       "Fig 6: overlap potential (us) | paper shape: IBA/Myri plateau at the "
       "rendezvous switch (host-driven handshake); QSN grows steadily "

@@ -9,15 +9,15 @@ int main(int argc, char** argv) {
   const auto sizes = util::size_sweep(4096, 64 << 10);
   util::Table t({"size", "IBA_0", "IBA_50", "IBA_100", "Myri_0", "Myri_50",
                  "Myri_100", "QSN_0", "QSN_50", "QSN_100"});
-  std::vector<std::vector<microbench::Point>> cols;
-  for (auto net : kAllNets) {
-    for (int reuse : {0, 50, 100}) {
-      cols.push_back(microbench::buffer_reuse_bandwidth(net, sizes, reuse));
-    }
-  }
+  // (net, reuse) points in column order: net outer, reuse inner.
+  const int kReuse[] = {0, 50, 100};
+  const auto cols = sweep_indexed(out, 9, [&](std::size_t i) {
+    return microbench::buffer_reuse_bandwidth(kAllNets[i / 3], sizes,
+                                              kReuse[i % 3]);
+  });
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     auto& row = t.row().add(util::size_label(sizes[i]));
-    for (auto& c : cols) row.add(c[i].value, 1);
+    for (const auto& c : cols) row.add(c[i].value, 1);
   }
   out.emit("Fig 8: bandwidth vs buffer reuse (MB/s) | paper shape: IBA and "
            "QSN drop sharply without reuse",

@@ -9,9 +9,9 @@ int main(int argc, char** argv) {
   const auto sizes = util::size_sweep(4, 4 << 10);
   auto t = series_table(
       "intra_us", sizes,
-      microbench::intranode_latency(cluster::Net::kInfiniBand, sizes),
-      microbench::intranode_latency(cluster::Net::kMyrinet, sizes),
-      microbench::intranode_latency(cluster::Net::kQuadrics, sizes));
+      per_net(out, [&](cluster::Net net) {
+        return microbench::intranode_latency(net, sizes);
+      }));
   out.emit(
       "Fig 9: intra-node latency (us) | paper: Myri 1.3, IBA 1.6, QSN worse "
       "than its inter-node 4.6 (NIC loopback, no shm path)",

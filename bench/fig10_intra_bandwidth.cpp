@@ -9,9 +9,10 @@ int main(int argc, char** argv) {
   const auto sizes = util::size_sweep(4, 1 << 20);
   auto t = series_table(
       "intra_MBs", sizes,
-      microbench::intranode_bandwidth(cluster::Net::kInfiniBand, sizes),
-      microbench::intranode_bandwidth(cluster::Net::kMyrinet, sizes),
-      microbench::intranode_bandwidth(cluster::Net::kQuadrics, sizes), 1);
+      per_net(out, [&](cluster::Net net) {
+        return microbench::intranode_bandwidth(net, sizes);
+      }),
+      1);
   out.emit(
       "Fig 10: intra-node bandwidth (MB/s) | paper shape: Myri/QSN drop for "
       "large messages (cache thrashing); IBA >450 via NIC loopback",

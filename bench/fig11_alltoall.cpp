@@ -9,9 +9,10 @@ int main(int argc, char** argv) {
   const auto sizes = util::size_sweep(4, 4 << 10);
   auto t = series_table(
       "a2a_us", sizes,
-      microbench::alltoall_latency(cluster::Net::kInfiniBand, sizes),
-      microbench::alltoall_latency(cluster::Net::kMyrinet, sizes),
-      microbench::alltoall_latency(cluster::Net::kQuadrics, sizes), 1);
+      per_net(out, [&](cluster::Net net) {
+        return microbench::alltoall_latency(net, sizes);
+      }),
+      1);
   out.emit("Fig 11: Alltoall on 8 nodes (us) | paper smalls: IBA 31, Myri "
            "36, QSN 67",
            t);

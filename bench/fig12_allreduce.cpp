@@ -9,9 +9,10 @@ int main(int argc, char** argv) {
   const auto sizes = util::size_sweep(4, 4 << 10);
   auto t = series_table(
       "ar_us", sizes,
-      microbench::allreduce_latency(cluster::Net::kInfiniBand, sizes),
-      microbench::allreduce_latency(cluster::Net::kMyrinet, sizes),
-      microbench::allreduce_latency(cluster::Net::kQuadrics, sizes), 1);
+      per_net(out, [&](cluster::Net net) {
+        return microbench::allreduce_latency(net, sizes);
+      }),
+      1);
   out.emit("Fig 12: Allreduce on 8 nodes (us) | paper smalls: QSN 28 "
            "(hardware bcast), Myri 35, IBA 46",
            t);

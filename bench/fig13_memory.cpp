@@ -7,9 +7,8 @@ using namespace mns::bench;
 int main(int argc, char** argv) {
   const Output out = parse_output(argc, argv);
   util::Table t({"nodes", "IBA_MB", "Myri_MB", "QSN_MB"});
-  const auto ib = microbench::memory_usage(cluster::Net::kInfiniBand, 8);
-  const auto my = microbench::memory_usage(cluster::Net::kMyrinet, 8);
-  const auto qs = microbench::memory_usage(cluster::Net::kQuadrics, 8);
+  const auto [ib, my, qs] = per_net(
+      out, [&](cluster::Net net) { return microbench::memory_usage(net, 8); });
   for (std::size_t i = 0; i < ib.size(); ++i) {
     t.row()
         .add(ib[i].size)

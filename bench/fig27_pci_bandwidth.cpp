@@ -9,8 +9,12 @@ int main(int argc, char** argv) {
   const auto sizes = util::size_sweep(4, 1 << 20);
   microbench::Options pci;
   pci.bus = cluster::Bus::kPci66;
-  const auto x = microbench::bandwidth(cluster::Net::kInfiniBand, sizes);
-  const auto p = microbench::bandwidth(cluster::Net::kInfiniBand, sizes, pci);
+  const auto buses = sweep_indexed(out, 2, [&](std::size_t i) {
+    return microbench::bandwidth(cluster::Net::kInfiniBand, sizes,
+                                 i == 0 ? microbench::Options{} : pci);
+  });
+  const auto& x = buses[0];
+  const auto& p = buses[1];
   util::Table t({"size", "PCIX_MBs", "PCI_MBs"});
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     t.row().add(util::size_label(sizes[i])).add(x[i].value, 1).add(p[i].value, 1);

@@ -1,10 +1,18 @@
 // Engine performance micro-benchmarks (google-benchmark): these measure
 // the SIMULATOR itself (host performance), not the modelled hardware.
+//
+// CI runs this binary in Release and uploads the JSON report; by default
+// it writes BENCH_engine.json next to the working directory (pass your
+// own --benchmark_out to override).
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
+#include "sweep/sweep_runner.hpp"
 
 using namespace mns;
 
@@ -66,4 +74,75 @@ static void BM_MpiLatencySim(benchmark::State& state) {
 }
 BENCHMARK(BM_MpiLatencySim)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Frame-pool churn: every spawn allocates a Root frame plus a Task frame,
+// and every completion retires both, so each wave recycles its frames
+// through the per-thread pool (40k promise allocations per iteration).
+static void BM_FramePoolChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int wave = 0; wave < 100; ++wave) {
+      for (int i = 0; i < 200; ++i) {
+        eng.spawn([](sim::Engine& e, int d) -> sim::Task<void> {
+          co_await e.delay(sim::Time::ns(d));
+        }(eng, i));
+      }
+      eng.run();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_FramePoolChurn)->Unit(benchmark::kMillisecond);
+
+// Sweep fan-out: twelve independent 2-node ping-pong simulations mapped
+// over the runner, as the fig/tab harnesses do. Arg is --jobs; real time
+// shows the between-simulation scaling (and jobs=1 the runner's overhead).
+static void BM_SweepRunner(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto secs = sweep::SweepRunner(jobs).run_indexed(12, [](std::size_t i) {
+      cluster::ClusterConfig cfg{
+          .nodes = 2,
+          .net = static_cast<cluster::Net>(i % 3)};
+      cluster::Cluster c(cfg);
+      c.run([](mpi::Comm& comm) -> sim::Task<void> {
+        const mpi::View buf = mpi::View::synth(0x1000 + comm.rank(), 64);
+        for (int k = 0; k < 200; ++k) {
+          if (comm.rank() == 0) {
+            co_await comm.send(buf, 1, 0);
+            co_await comm.recv(buf, 1, 0);
+          } else {
+            co_await comm.recv(buf, 0, 0);
+            co_await comm.send(buf, 0, 0);
+          }
+        }
+      });
+      return c.engine().now().to_seconds();
+    });
+    benchmark::DoNotOptimize(secs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 12);
+}
+BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  // Default the JSON report so CI (and anyone running the binary bare)
+  // gets BENCH_engine.json without extra flags.
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  static char out_flag[] = "--benchmark_out=BENCH_engine.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

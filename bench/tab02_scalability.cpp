@@ -21,26 +21,28 @@ int main(int argc, char** argv) {
   };
   util::Table t({"app", "net", "n2_s", "n4_s", "n8_s", "paper_n2",
                  "paper_n4", "paper_n8"});
-  for (const auto& row : paper) {
-    int col = 0;
-    for (auto net : kAllNets) {
-      auto cell = [&](std::size_t nodes, int idx) -> double {
-        if (row.v[idx] < 0) return -1;  // FT does not fit on 2 nodes
-        return run_app(row.app, net, nodes);
-      };
-      const double n2 = cell(2, col * 3 + 0);
-      const double n4 = cell(4, col * 3 + 1);
-      const double n8 = cell(8, col * 3 + 2);
+  // One sweep point per (app, net, nodes) cell; -1 cells never simulate.
+  const std::size_t napps = std::size(paper);
+  const auto secs = sweep_indexed(out, napps * 9, [&](std::size_t i) {
+    const auto& row = paper[i / 9];
+    const std::size_t col = (i % 9) / 3;
+    const std::size_t k = i % 3;
+    if (row.v[col * 3 + k] < 0) return -1.0;  // FT does not fit on 2 nodes
+    return run_app(row.app, kAllNets[col], std::size_t{2} << k);
+  });
+  for (std::size_t a = 0; a < napps; ++a) {
+    const auto& row = paper[a];
+    for (std::size_t col = 0; col < 3; ++col) {
+      const std::size_t base = a * 9 + col * 3;
       t.row()
           .add(std::string(row.app))
-          .add(std::string(cluster::net_name(net)))
-          .add(n2, 2)
-          .add(n4, 2)
-          .add(n8, 2)
+          .add(std::string(cluster::net_name(kAllNets[col])))
+          .add(secs[base + 0], 2)
+          .add(secs[base + 1], 2)
+          .add(secs[base + 2], 2)
           .add(row.v[col * 3 + 0], 2)
           .add(row.v[col * 3 + 1], 2)
           .add(row.v[col * 3 + 2], 2);
-      ++col;
     }
   }
   out.emit("Table 2: class-B execution time vs system size (seconds; "

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/frame_pool.hpp"
+
 namespace mns::cluster {
 
 const char* net_name(Net n) {
@@ -41,6 +43,12 @@ Cluster::Cluster(const ClusterConfig& cfg)
   if (cfg_.ppn < 1 || cfg_.ppn > 2) {
     throw std::invalid_argument("ppn must be 1 or 2 (dual-CPU nodes)");
   }
+
+  // Pre-size the event heap from the topology: per-rank process starts,
+  // in-flight window messages, NIC pipeline stages. Over-reserving a
+  // little is free; re-growing mid-run costs a full heap copy.
+  const std::size_t ranks = cfg_.nodes * static_cast<std::size_t>(cfg_.ppn);
+  eng_->reserve_events(64 + 48 * ranks);
 
   const model::BusConfig bus = bus_for(cfg_.net, cfg_.bus);
   std::vector<model::NodeHw*> node_ptrs;
@@ -89,6 +97,14 @@ Cluster::Cluster(const ClusterConfig& cfg)
     comms_.push_back(
         std::make_unique<mpi::Comm>(*mpi_, static_cast<mpi::Rank>(r)));
   }
+
+  // Construction spawned the persistent daemon loops (NIC senders,
+  // progress engines); everything above this level must drain by the end
+  // of a run. Re-snapshotted at each run() so the audit stays exact even
+  // when several clusters are alive on this thread (the pool is
+  // thread-local and run() is synchronous, so nothing else can allocate
+  // between the snapshot and the check).
+  frame_pool_baseline_ = sim::frame_pool::stats().outstanding();
 }
 
 Cluster::~Cluster() {
@@ -101,6 +117,7 @@ Cluster::~Cluster() {
 
 sim::Time Cluster::run(RankMain rank_main) {
   const sim::Time start = eng_->now();
+  frame_pool_baseline_ = sim::frame_pool::stats().outstanding();
   for (auto& comm : comms_) {
     // Wrap so each rank's coroutine sees its own Comm.
     eng_->spawn([](RankMain fn, mpi::Comm& c) -> sim::Task<void> {
@@ -117,6 +134,15 @@ sim::Time Cluster::run(RankMain rank_main) {
 audit::AuditReport Cluster::make_audit_report() {
   audit::AuditReport report;
   eng_->register_audits(report);
+  report.add_check("sim::frame_pool", [this](audit::AuditReport::Scope& s) {
+    // Empty-at-exit modulo the persistent daemons: every transient frame
+    // the run spawned (compute/busy tasks, per-message channel tasks)
+    // must have been returned to the pool.
+    s.require_eq(sim::frame_pool::stats().outstanding(),
+                 frame_pool_baseline_,
+                 "coroutine frame pool not back to its pre-run level "
+                 "(leaked frame)");
+  });
   if (ib_) ib_->register_audits(report);
   if (gm_) gm_->register_audits(report);
   if (elan_) elan_->register_audits(report);

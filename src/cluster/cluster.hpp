@@ -93,6 +93,10 @@ class Cluster {
  private:
   ClusterConfig cfg_;
   std::unique_ptr<sim::Engine> eng_;
+  // Coroutine frames outstanding in the thread's frame pool right after
+  // construction (the persistent daemon loops). The finalize audit checks
+  // the pool returns to exactly this level — any excess is a leaked frame.
+  std::uint64_t frame_pool_baseline_ = 0;
   std::vector<std::unique_ptr<model::NodeHw>> nodes_;
   // Exactly one of these is built, per cfg_.net.
   std::unique_ptr<ib::IbFabric> ib_;

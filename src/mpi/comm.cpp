@@ -82,6 +82,7 @@ View Comm::slice(const View& v, std::uint64_t offset, std::uint64_t len) {
 sim::Task<Request> Comm::isend_impl(View buf, Rank dst, Tag tag,
                                     bool nonblocking) {
   if (dst < 0 || dst >= size()) throw std::invalid_argument("bad dest rank");
+  buf = mpi_->canon(buf);
   auto& p = mpi_->proc(rank_);
   sim::MpiScope scope(p.cpu());
   p.drain_deferred();
@@ -99,6 +100,7 @@ sim::Task<Request> Comm::isend_impl(View buf, Rank dst, Tag tag,
 
 sim::Task<Request> Comm::irecv_impl(View buf, Rank src, Tag tag,
                                     bool nonblocking) {
+  buf = mpi_->canon(buf);
   auto& p = mpi_->proc(rank_);
   sim::MpiScope scope(p.cpu());
   p.drain_deferred();
@@ -119,6 +121,7 @@ sim::Task<Request> Comm::irecv_impl(View buf, Rank src, Tag tag,
 
 sim::Task<void> Comm::send(View buf, Rank dst, Tag tag) {
   if (dst < 0 || dst >= size()) throw std::invalid_argument("bad dest rank");
+  buf = mpi_->canon(buf);
   const bool intra = mpi_->same_node(rank_, dst);
   mpi_->recorder().on_send(rank_, buf.bytes(), false, buf.addr(), intra);
   const double tt0 = wtime();
@@ -128,6 +131,7 @@ sim::Task<void> Comm::send(View buf, Rank dst, Tag tag) {
 }
 
 sim::Task<Status> Comm::recv(View buf, Rank src, Tag tag) {
+  buf = mpi_->canon(buf);
   mpi_->recorder().on_recv(rank_, buf.bytes(), false, buf.addr());
   const double tt0 = wtime();
   Request req = co_await irecv_impl(buf, src, tag, false);
@@ -138,12 +142,14 @@ sim::Task<Status> Comm::recv(View buf, Rank src, Tag tag) {
 
 sim::Task<Request> Comm::isend(View buf, Rank dst, Tag tag) {
   if (dst < 0 || dst >= size()) throw std::invalid_argument("bad dest rank");
+  buf = mpi_->canon(buf);
   const bool intra = mpi_->same_node(rank_, dst);
   mpi_->recorder().on_send(rank_, buf.bytes(), true, buf.addr(), intra);
   return isend_impl(buf, dst, tag, true);
 }
 
 sim::Task<Request> Comm::irecv(View buf, Rank src, Tag tag) {
+  buf = mpi_->canon(buf);
   mpi_->recorder().on_recv(rank_, buf.bytes(), true, buf.addr());
   return irecv_impl(buf, src, tag, true);
 }
@@ -163,6 +169,8 @@ sim::Task<void> Comm::wait_all(std::vector<Request> reqs) {
 
 sim::Task<Status> Comm::sendrecv(View sendbuf, Rank dst, Tag stag,
                                  View recvbuf, Rank src, Tag rtag) {
+  sendbuf = mpi_->canon(sendbuf);
+  recvbuf = mpi_->canon(recvbuf);
   mpi_->recorder().on_recv(rank_, recvbuf.bytes(), false, recvbuf.addr());
   const double tt0 = wtime();
   Request rreq = co_await irecv_impl(recvbuf, src, rtag, false);
@@ -209,6 +217,7 @@ sim::Task<Status> Comm::probe(Rank src, Tag tag) {
 
 sim::Task<void> Comm::ssend(View buf, Rank dst, Tag tag) {
   if (dst < 0 || dst >= size()) throw std::invalid_argument("bad dest rank");
+  buf = mpi_->canon(buf);
   const bool intra = mpi_->same_node(rank_, dst);
   mpi_->recorder().on_send(rank_, buf.bytes(), false, buf.addr(), intra);
   auto& p = mpi_->proc(rank_);

@@ -6,6 +6,29 @@
 
 namespace mns::mpi {
 
+std::uint64_t Mpi::canon_addr(std::uint64_t addr, std::uint64_t bytes) {
+  // Granularity: the finest model page size in use (IB/GM use 4 KiB,
+  // Elan 8 KiB), so distinct model pages never merge. The canonical base
+  // sits above the skeletons' synthetic address space (0x4000'0000'0000 +
+  // rank<<32) so the two ranges cannot collide in the per-node caches.
+  constexpr std::uint64_t kPage = 4096;
+  constexpr std::uint64_t kBase = 0x7000'0000'0000ULL;
+  const std::uint64_t first = addr / kPage;
+  const std::uint64_t last = (addr + bytes - 1) / kPage;
+  // First touch reserves the buffer's whole page range in one walk, so a
+  // contiguous real buffer stays contiguous canonically and slices handed
+  // to MPI later (which re-derive raw addresses from the payload pointer)
+  // land inside the parent's reservation.
+  if (!canon_pages_.count(first) || !canon_pages_.count(last)) {
+    for (std::uint64_t p = first; p <= last; ++p) {
+      if (canon_pages_.try_emplace(p, canon_next_page_).second) {
+        ++canon_next_page_;
+      }
+    }
+  }
+  return kBase + canon_pages_[first] * kPage + addr % kPage;
+}
+
 void Mpi::register_audits(audit::AuditReport& report) {
   report.add_check("mpi::Mpi", [this](audit::AuditReport::Scope& s) {
     s.require_eq(ledger_.created, ledger_.completed,

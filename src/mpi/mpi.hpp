@@ -76,6 +76,31 @@ class Mpi {
 
   prof::Recorder& recorder() { return recorder_; }
 
+  /// Rebase a real view's model-visible address onto a per-job canonical
+  /// address space (first-touch dense page numbering, page offsets
+  /// preserved).
+  ///
+  /// View::in/out derive the address from the host pointer, which depends
+  /// on ASLR, allocator history and — with pooled coroutine frames — on
+  /// which thread ran earlier sweep points. The registration-cache and
+  /// NIC-MMU models key their timing on those addresses, so feeding them
+  /// raw pointers makes simulated time depend on host memory layout.
+  /// Canonicalizing at the MPI boundary keeps the models' access *pattern*
+  /// (same page => same page, offsets intact) while making the values a
+  /// pure function of this job's deterministic call order. Synthetic and
+  /// already-canonical views pass through unchanged.
+  View canon(View v) {
+    if (v.synthetic() || v.canonical() || v.bytes() == 0) return v;
+    return v.rebased(canon_addr(v.addr(), v.bytes()));
+  }
+
+  /// Canonical address the recorder/device should see for `v` (same map
+  /// as canon(), without rebasing the view).
+  std::uint64_t canon_addr(const View& v) {
+    if (v.synthetic() || v.canonical() || v.bytes() == 0) return v.addr();
+    return canon_addr(v.addr(), v.bytes());
+  }
+
   /// Request-completion conservation ledger; every RequestState the job
   /// creates reports into it (see request.hpp).
   RequestLedger& request_ledger() { return ledger_; }
@@ -126,6 +151,8 @@ class Mpi {
   void drop_collective_slot(std::uint64_t seq) { slots_.erase(seq); }
 
  private:
+  std::uint64_t canon_addr(std::uint64_t addr, std::uint64_t bytes);
+
   sim::Engine* eng_;
   Topology topo_;
   prof::Recorder recorder_;
@@ -134,6 +161,8 @@ class Mpi {
   std::unique_ptr<Device> device_;
   prof::Tracer* tracer_ = nullptr;
   std::unordered_map<std::uint64_t, std::unique_ptr<CollSlot>> slots_;
+  std::unordered_map<std::uint64_t, std::uint64_t> canon_pages_;
+  std::uint64_t canon_next_page_ = 0;
 };
 
 }  // namespace mns::mpi

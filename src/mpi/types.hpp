@@ -85,11 +85,26 @@ class View {
   bool synthetic() const { return data_ == nullptr; }
   bool writable() const { return writable_; }
 
+  /// True once the model-visible address has been rebased onto the MPI
+  /// layer's canonical address space (see Mpi::canon).
+  bool canonical() const { return canon_; }
+
+  /// Copy of this view with the model-visible address replaced by a
+  /// canonical one. The payload pointer is untouched; only the identity
+  /// fed to the registration-cache / MMU / reuse models changes.
+  View rebased(std::uint64_t addr) const {
+    View v = *this;
+    v.addr_ = addr;
+    v.canon_ = true;
+    return v;
+  }
+
  private:
   std::uint64_t addr_ = 0;
   std::byte* data_ = nullptr;
   std::uint64_t bytes_ = 0;
   bool writable_ = false;
+  bool canon_ = false;
 };
 
 /// Copy payload between views where both sides are real. `bytes` is the

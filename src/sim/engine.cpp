@@ -3,14 +3,22 @@
 #include <algorithm>
 
 #include "audit/report.hpp"
+#include "sim/frame_pool.hpp"
 
 namespace mns::sim {
+
+namespace {
+// 4-ary heap: children of i are [4i+1, 4i+4], parent is (i-1)/4. Shallower
+// than a binary heap (log4 vs log2 levels) and the four children of one
+// parent sit in adjacent memory, so a sift touches fewer cache lines.
+constexpr std::size_t kHeapArity = 4;
+}  // namespace
 
 // Root coroutine wrapper: owns the process Task, reports completion and
 // errors to the engine. On completion the engine destroys the frame from
 // the final-suspend point, so finished processes cost nothing.
 struct Engine::Root {
-  struct promise_type {
+  struct promise_type : frame_pool::PoolAllocated {
     Engine* eng = nullptr;
     std::size_t root_index = 0;  // position in Engine::roots_ for O(1) retire
     bool daemon = false;
@@ -53,22 +61,105 @@ void Engine::drop_processes() {
   for (auto h : roots) {
     if (h) h.destroy();
   }
-  // Pending event callbacks capture handles into the frames just
-  // destroyed; drop them unrun.
-  heap_.clear();
+  // Pending event payloads capture handles into the frames just
+  // destroyed; drop them unrun (~EventFn reclaims boxed closures).
+  heap_keys_.clear();
+  heap_slots_.clear();
+  slab_.clear();
+  slab_free_.clear();
+  nowq_.clear();
+  nowq_head_ = 0;
   live_ = 0;
 }
 
-void Engine::after(Time delay, std::function<void()> fn) {
-  at(now_ + delay, std::move(fn));
-}
-
-void Engine::at(Time when, std::function<void()> fn) {
-  if (when < now_) {
+void Engine::schedule_future(std::int64_t at_ps, EventFn fn) {
+  if (at_ps < now_.count_ps()) {
     throw std::logic_error("Engine::at: scheduling into the past");
   }
-  heap_.push_back(Event{when, next_seq_++, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_push(Key::make(at_ps, next_seq_++), std::move(fn));
+}
+
+void Engine::heap_push(Key key, EventFn fn) {
+  // Park the payload in the slab; only (key, slot) enter the sift.
+  std::uint32_t slot;
+  if (!slab_free_.empty()) {
+    slot = slab_free_.back();
+    slab_free_.pop_back();
+    slab_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(std::move(fn));
+  }
+  std::size_t i = heap_keys_.size();
+  heap_keys_.push_back(key);
+  heap_slots_.push_back(slot);
+  // Hole sift-up: move parents down into the hole instead of swapping.
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!key.before(heap_keys_[parent])) break;
+    heap_keys_[i] = heap_keys_[parent];
+    heap_slots_[i] = heap_slots_[parent];
+    i = parent;
+  }
+  heap_keys_[i] = key;
+  heap_slots_[i] = slot;
+}
+
+EventFn Engine::heap_pop(Key& key) {
+  key = heap_keys_.front();
+  const std::uint32_t top_slot = heap_slots_.front();
+  const Key last_key = heap_keys_.back();
+  const std::uint32_t last_slot = heap_slots_.back();
+  heap_keys_.pop_back();
+  heap_slots_.pop_back();
+  const std::size_t n = heap_keys_.size();
+  if (n > 0) {
+    // Bottom-up sift-down: walk the hole along the min-child path to a
+    // leaf without comparing against last_key (the displaced element
+    // almost always belongs near the bottom), then bubble it back up the
+    // few levels it doesn't. Only dense key/slot arrays are touched.
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = i * kHeapArity + 1;
+      if (first >= n) break;
+      const std::size_t end = std::min(first + kHeapArity, n);
+      // The grandchildren of i form one contiguous range
+      // [4*first+1, 4*first+16]; prefetching its keys (4 lines) and
+      // slots (1 line) overlaps the next level's cache misses with this
+      // level's compares, breaking the serial miss chain that otherwise
+      // dominates deep pops.
+      const std::size_t gfirst = first * kHeapArity + 1;
+      if (gfirst < n) {
+        const char* g = reinterpret_cast<const char*>(&heap_keys_[gfirst]);
+        __builtin_prefetch(g);
+        __builtin_prefetch(g + 64);
+        __builtin_prefetch(g + 128);
+        __builtin_prefetch(g + 192);
+        __builtin_prefetch(&heap_slots_[gfirst]);
+      }
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (heap_keys_[c].before(heap_keys_[best])) best = c;
+      }
+      heap_keys_[i] = heap_keys_[best];
+      heap_slots_[i] = heap_slots_[best];
+      i = best;
+    }
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kHeapArity;
+      if (!last_key.before(heap_keys_[parent])) break;
+      heap_keys_[i] = heap_keys_[parent];
+      heap_slots_[i] = heap_slots_[parent];
+      i = parent;
+    }
+    heap_keys_[i] = last_key;
+    heap_slots_[i] = last_slot;
+    // Fetch the *next* pop's payload a whole event ahead of its use.
+    __builtin_prefetch(&slab_[heap_slots_.front()]);
+  }
+  EventFn top = std::move(slab_[top_slot]);
+  slab_free_.push_back(top_slot);
+  return top;
 }
 
 void Engine::spawn(Task<> t, bool daemon) {
@@ -78,27 +169,58 @@ void Engine::spawn(Task<> t, bool daemon) {
   root.handle.promise().daemon = daemon;
   roots_.push_back(root.handle);
   if (!daemon) ++live_;
-  after(Time::zero(), [h = root.handle] { h.resume(); });
+  // Start through the queue at the current time (spawn order = start
+  // order) on the resume fast path — no closure, no boxing.
+  resume_at(now_, root.handle);
 }
 
 bool Engine::step() {
-  if (heap_.empty()) return false;
+  const bool have_now = nowq_head_ < nowq_.size();
+  if (!have_now && heap_keys_.empty()) return false;
   if (events_processed_ >= event_limit_) throw EventLimitError(event_limit_);
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
+  std::int64_t at_ps;
+  std::uint64_t seq;
+  EventFn fn;
+  // The now-queue holds events at exactly now() in seq (FIFO) order; a
+  // heap event competes only when it carries the same timestamp with a
+  // smaller seq (scheduled for this instant before the clock reached it).
+  bool take_heap = !have_now;
+  if (have_now && !heap_keys_.empty() &&
+      heap_keys_.front().at_ps() == now_.count_ps() &&
+      heap_keys_.front().seq() < nowq_[nowq_head_].seq) {
+    take_heap = true;
+  }
+  if (take_heap) {
+    Key key{};
+    fn = heap_pop(key);
+    at_ps = key.at_ps();
+    seq = key.seq();
+  } else {
+    NowEvent& ne = nowq_[nowq_head_++];
+    at_ps = now_.count_ps();
+    seq = ne.seq;
+    fn = std::move(ne.fn);
+    if (nowq_head_ == nowq_.size()) {
+      nowq_.clear();
+      nowq_head_ = 0;
+    }
+  }
 #if defined(MNS_AUDIT_ENABLED)
-  MNS_AUDIT(ev.at >= now_, "event time regressed behind the clock");
-  MNS_AUDIT(events_processed_ == 0 || ev.at > audit_last_at_ ||
-                (ev.at == audit_last_at_ && ev.seq > audit_last_seq_),
+  MNS_AUDIT(at_ps >= now_.count_ps(),
+            "event time regressed behind the clock");
+  MNS_AUDIT(events_processed_ == 0 || at_ps > audit_last_at_.count_ps() ||
+                (at_ps == audit_last_at_.count_ps() &&
+                 seq > audit_last_seq_),
             "determinism tie-break violated: equal-time events must pop "
             "in schedule (seq) order");
-  audit_last_at_ = ev.at;
-  audit_last_seq_ = ev.seq;
+  audit_last_at_ = Time::ps(at_ps);
+  audit_last_seq_ = seq;
+#else
+  (void)seq;
 #endif
-  now_ = ev.at;
+  now_ = Time::ps(at_ps);
   ++events_processed_;
-  ev.fn();
+  fn.invoke();
   return true;
 }
 
@@ -114,8 +236,12 @@ void Engine::run() {
 }
 
 bool Engine::run_until(Time deadline) {
-  while (!heap_.empty()) {
-    if (heap_.front().at > deadline) return false;
+  for (;;) {
+    const bool have_now = nowq_head_ < nowq_.size();
+    if (!have_now && heap_keys_.empty()) return true;
+    const std::int64_t next_at =
+        have_now ? now_.count_ps() : heap_keys_.front().at_ps();
+    if (next_at > deadline.count_ps()) return false;
     step();
     if (failure_) {
       auto e = failure_;
@@ -123,7 +249,6 @@ bool Engine::run_until(Time deadline) {
       std::rethrow_exception(e);
     }
   }
-  return true;
 }
 
 void Engine::retire(std::coroutine_handle<> h) {
@@ -148,7 +273,7 @@ void Engine::process_failed(std::exception_ptr e) {
 
 void Engine::register_audits(audit::AuditReport& report) {
   report.add_check("sim::Engine", [this](audit::AuditReport::Scope& s) {
-    s.require_eq(heap_.size(), std::size_t{0},
+    s.require_eq(pending_events(), std::size_t{0},
                  "event queue not drained at finalize");
     s.require_eq(live_, std::size_t{0},
                  "non-daemon process(es) still live at finalize");

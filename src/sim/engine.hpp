@@ -4,14 +4,30 @@
 // of all spawned processes. Determinism: events at equal timestamps run in
 // schedule order (monotonic sequence number tie-break), and nothing in the
 // simulator consults wall-clock time or unseeded randomness.
+//
+// Hot-path design (the simulator spends most of its host time here):
+//   - An event payload is an EventFn — a raw function pointer plus two
+//     inline words. The dominant payload, "resume this coroutine", is a
+//     fast path with no type erasure and no allocation; captureless and
+//     small trivially-copyable callables are stored inline; only genuinely
+//     capturing callbacks fall back to one boxed heap closure.
+//   - Future events live in a 4-ary min-heap split structure-of-arrays
+//     style: the sift loops move only 16-byte packed (at, seq) keys and
+//     4-byte slab slots, while the 24-byte payloads sit still in a
+//     recycled slab. Events scheduled at exactly now() skip the heap via
+//     a FIFO now-queue.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
+#include <cstring>
 #include <exception>
-#include <functional>
+#include <memory>
+#include <new>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "audit/audit.hpp"
@@ -43,6 +59,119 @@ class EventLimitError : public std::runtime_error {
                            "); suspected live-lock (unsatisfiable poll?)") {}
 };
 
+/// The event payload: a raw function pointer plus two inline words.
+///
+/// Three storage forms, cheapest first:
+///   resume(h)     — the coroutine-resume fast path (a handle address)
+///   inline        — captureless or small trivially-copyable callables,
+///                   memcpy'd into the two words
+///   boxed         — everything else: one heap closure behind a vtable
+/// Move-only; an un-invoked boxed payload is destroyed with its event
+/// (drop_processes clears the queue without running it).
+class EventFn {
+ public:
+  using Raw = void (*)(void*, void*);
+
+  EventFn() noexcept = default;
+  EventFn(Raw fn, void* a, void* b = nullptr) noexcept
+      : fn_(fn), a_(a), b_(b) {}
+
+  /// Fast path: `h.resume()` with no erasure and no allocation.
+  static EventFn resume(std::coroutine_handle<> h) noexcept {
+    return EventFn(&resume_thunk, h.address());
+  }
+
+  /// Wrap an arbitrary callable, boxing only when it cannot be stored
+  /// inline (capturing more than two words, or non-trivial captures).
+  template <class F>
+  static EventFn make(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (std::is_empty_v<D> && std::is_trivially_copyable_v<D> &&
+                  std::is_default_constructible_v<D>) {
+      (void)f;  // stateless: nothing to store
+      return EventFn(&stateless_thunk<D>, nullptr);
+    } else if constexpr (std::is_trivially_copyable_v<D> &&
+                         std::is_trivially_destructible_v<D> &&
+                         sizeof(D) <= 2 * sizeof(void*) &&
+                         alignof(D) <= alignof(void*)) {
+      EventFn ev(&inline_thunk<D>, nullptr, nullptr);
+      std::memcpy(&ev.a_, std::addressof(f), sizeof(D));
+      return ev;
+    } else {
+      return EventFn(&boxed_thunk, new Boxed<D>(std::forward<F>(f)));
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept
+      : fn_(std::exchange(o.fn_, nullptr)),
+        a_(std::exchange(o.a_, nullptr)),
+        b_(std::exchange(o.b_, nullptr)) {}
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fn_ = std::exchange(o.fn_, nullptr);
+      a_ = std::exchange(o.a_, nullptr);
+      b_ = std::exchange(o.b_, nullptr);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const noexcept { return fn_ != nullptr; }
+
+  /// Run the payload. Single-shot: consumes a boxed closure.
+  void invoke() {
+    const Raw fn = std::exchange(fn_, nullptr);
+    if (fn == &boxed_thunk) {
+      std::unique_ptr<BoxedBase> box(static_cast<BoxedBase*>(a_));
+      box->call();
+    } else {
+      fn(a_, b_);
+    }
+  }
+
+ private:
+  struct BoxedBase {
+    virtual void call() = 0;
+    virtual ~BoxedBase() = default;
+  };
+  template <class F>
+  struct Boxed final : BoxedBase {
+    F f;
+    template <class G>
+    explicit Boxed(G&& g) : f(std::forward<G>(g)) {}
+    void call() override { f(); }
+  };
+
+  static void resume_thunk(void* a, void*) {
+    std::coroutine_handle<>::from_address(a).resume();
+  }
+  // Tag only; dispatch happens in invoke() so the box can be reclaimed.
+  static void boxed_thunk(void*, void*) {}
+  template <class D>
+  static void stateless_thunk(void*, void*) {
+    D{}();
+  }
+  template <class D>
+  static void inline_thunk(void* a, void* b) {
+    void* words[2] = {a, b};
+    alignas(alignof(D)) unsigned char buf[sizeof(D)];
+    std::memcpy(buf, words, sizeof(D));
+    (*std::launder(reinterpret_cast<D*>(buf)))();
+  }
+
+  void reset() noexcept {
+    if (fn_ == &boxed_thunk) delete static_cast<BoxedBase*>(a_);
+    fn_ = nullptr;
+  }
+
+  Raw fn_ = nullptr;
+  void* a_ = nullptr;
+  void* b_ = nullptr;
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -52,10 +181,50 @@ class Engine {
 
   Time now() const { return now_; }
 
-  /// Schedule `fn` to run `delay` from now. Negative delays are an error.
-  void after(Time delay, std::function<void()> fn);
-  /// Schedule `fn` at absolute time `at` (must be >= now()).
-  void at(Time when, std::function<void()> fn);
+  /// Schedule a payload to run `delay` from now. Negative delays are an
+  /// error.
+  void after(Time delay, EventFn fn) { at(now_ + delay, std::move(fn)); }
+  /// Schedule a payload at absolute time `at` (must be >= now()).
+  /// Events at exactly now() — every synchronization wake-up, process
+  /// start, and hand-off in the simulator — take the O(1) now-queue fast
+  /// path; only genuinely future events pay the heap sift.
+  void at(Time when, EventFn fn) {
+    const std::int64_t at_ps = when.count_ps();
+    if (at_ps == now_.count_ps()) {
+      nowq_.push_back(NowEvent{next_seq_++, std::move(fn)});
+      return;
+    }
+    schedule_future(at_ps, std::move(fn));
+  }
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_v<F&>)
+  void after(Time delay, F&& fn) {
+    at(now_ + delay, EventFn::make(std::forward<F>(fn)));
+  }
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_v<F&>)
+  void at(Time when, F&& fn) {
+    at(when, EventFn::make(std::forward<F>(fn)));
+  }
+
+  /// Coroutine-resume fast paths: no closure, no allocation.
+  void resume_after(Time delay, std::coroutine_handle<> h) {
+    at(now_ + delay, EventFn::resume(h));
+  }
+  void resume_at(Time when, std::coroutine_handle<> h) {
+    at(when, EventFn::resume(h));
+  }
+
+  /// Pre-size the event heap for at least `n` concurrently pending events
+  /// (Cluster sizes this from the topology: ranks, NICs, channel depth).
+  void reserve_events(std::size_t n) {
+    heap_keys_.reserve(n);
+    heap_slots_.reserve(n);
+    slab_.reserve(n);
+  }
 
   /// Awaitable pause: `co_await eng.delay(Time::us(5));`
   /// Zero-length delays still suspend (and requeue), preserving FIFO
@@ -66,7 +235,7 @@ class Engine {
       Time d;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        eng.after(d, [h] { h.resume(); });
+        eng.resume_after(d, h);
       }
       void await_resume() const noexcept {}
     };
@@ -89,6 +258,9 @@ class Engine {
 
   std::size_t live_processes() const { return live_; }
   std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t pending_events() const {
+    return heap_keys_.size() + (nowq_.size() - nowq_head_);
+  }
 
   /// Abort run()/run_until() with EventLimitError after this many events
   /// (default: effectively unlimited).
@@ -115,22 +287,59 @@ class Engine {
   struct Root;  // root coroutine wrapper; public for the factory coroutine
 
  private:
-  struct Event {
-    Time at;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    // Min-heap via `greater`: earliest (at, seq) first.
-    friend bool operator>(const Event& a, const Event& b) {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+  // Heap key: (at, seq) packed into one 128-bit integer so the ordering
+  // test is a single unsigned compare (cmp/sbb, no second branch) in the
+  // sift loops. at_ps is sign-flipped into the high half so the unsigned
+  // order matches the signed (at, seq) lexicographic order.
+  struct Key {
+    unsigned __int128 packed;
+    static Key make(std::int64_t at_ps, std::uint64_t seq) noexcept {
+      const auto hi = static_cast<std::uint64_t>(at_ps) ^
+                      (std::uint64_t{1} << 63);
+      return Key{(static_cast<unsigned __int128>(hi) << 64) | seq};
     }
+    std::int64_t at_ps() const noexcept {
+      return static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(packed >> 64) ^
+          (std::uint64_t{1} << 63));
+    }
+    std::uint64_t seq() const noexcept {
+      return static_cast<std::uint64_t>(packed);
+    }
+    bool before(const Key& o) const noexcept { return packed < o.packed; }
   };
+  // Now-queue entry: the timestamp is implicitly now(), only the seq
+  // tie-break is needed to interleave with equal-time heap events.
+  struct NowEvent {
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  void schedule_future(std::int64_t at_ps, EventFn fn);
+  void heap_push(Key key, EventFn fn);
+  EventFn heap_pop(Key& key);
 
   bool step();  // pop and run one event; false if queue empty
   void retire(std::coroutine_handle<> h);  // process done: reclaim its frame
   void process_failed(std::exception_ptr e);
 
-  std::vector<Event> heap_;
+  // The future-event 4-ary min-heap, split structure-of-arrays style: the
+  // sift loops compare only keys, so the traversal walks a dense 16-byte
+  // array (100k pending events = 1.6 MB of keys) instead of dragging the
+  // payload words through the cache on every probe.
+  // Structure-of-arrays heap: sift loops move only 16-byte keys and
+  // 4-byte slab slots; the 24-byte payloads never move. slab_free_
+  // recycles slots LIFO, so a push usually lands its payload on a
+  // cache-warm slab entry.
+  std::vector<Key> heap_keys_;
+  std::vector<std::uint32_t> heap_slots_;
+  std::vector<EventFn> slab_;
+  std::vector<std::uint32_t> slab_free_;
+  // FIFO of events at exactly now(): push_back / consume-from-head. The
+  // queue fully drains before the clock can advance (its entries are
+  // minimal), so head==size resets storage to empty and nothing lingers.
+  std::vector<NowEvent> nowq_;
+  std::size_t nowq_head_ = 0;
   Time now_;
   // Shadow order tracking: audit builds verify in step() that events pop
   // in strict (time, seq) order — the determinism contract.

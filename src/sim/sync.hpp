@@ -30,7 +30,7 @@ class Trigger {
     if (fired_) return;
     fired_ = true;
     for (auto h : waiters_) {
-      eng_->after(Time::zero(), [h] { h.resume(); });
+      eng_->resume_after(Time::zero(), h);
     }
     waiters_.clear();
   }
@@ -77,7 +77,7 @@ class Mailbox {
       Waiter* w = waiters_.front();
       waiters_.pop_front();
       w->slot = std::move(msg);  // direct hand-off: cannot be stolen
-      eng_->after(Time::zero(), [h = w->handle] { h.resume(); });
+      eng_->resume_after(Time::zero(), w->handle);
       return;
     }
     queue_.push_back(std::move(msg));
@@ -138,7 +138,7 @@ class Semaphore {
       auto [h, flag] = waiters_.front();
       waiters_.pop_front();
       *flag = true;  // token handed directly to this waiter
-      eng_->after(Time::zero(), [h] { h.resume(); });
+      eng_->resume_after(Time::zero(), h);
       return;
     }
     ++count_;
@@ -171,7 +171,7 @@ class SimBarrier {
         b.waiters_.push_back(h);
         if (b.waiters_.size() == b.n_) {
           for (auto w : b.waiters_) {
-            b.eng_->after(Time::zero(), [w] { w.resume(); });
+            b.eng_->resume_after(Time::zero(), w);
           }
           b.waiters_.clear();
         }

@@ -12,12 +12,17 @@
 #include <utility>
 
 #include "audit/audit.hpp"
+#include "sim/frame_pool.hpp"
 
 namespace mns::sim {
 
 namespace detail {
 
-struct PromiseBase {
+// PromiseBase inherits PoolAllocated, so every Task<T> coroutine frame is
+// carved from the per-thread frame pool instead of the global allocator —
+// the millions of transient compute()/busy()/channel tasks a skeleton run
+// spawns become freelist pops.
+struct PromiseBase : frame_pool::PoolAllocated {
   std::coroutine_handle<> continuation = std::noop_coroutine();
   std::exception_ptr error;
 

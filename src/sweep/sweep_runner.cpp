@@ -1,0 +1,10 @@
+#include "sweep/sweep_runner.hpp"
+
+namespace mns::sweep {
+
+int hardware_jobs() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace mns::sweep

@@ -14,6 +14,13 @@ statically:
   stdout          no std::cout / std::cerr / printf in library code —
                   libraries return data; printing belongs to bench/,
                   examples/, and tools/.
+  threading       no std::thread / jthread / async / mutex /
+                  condition_variable / atomic / future / barrier / latch /
+                  semaphore in simulator code. Parallelism lives ONLY
+                  between independent simulations, in src/sweep/ (the one
+                  whitelisted directory); a simulation itself is
+                  single-threaded by contract, which is what makes runs
+                  deterministic and --jobs N bit-identical to --jobs 1.
   coro-ref-capture  no lambda coroutine that captures by reference and
                   ESCAPES its enclosing scope. The lambda object dies with
                   the scope, but the coroutine frame built from it lives
@@ -63,6 +70,22 @@ PATTERN_RULES = [
         "unseeded randomness; use the seeded generators in util/rng.hpp",
     ),
     (
+        "threading",
+        re.compile(
+            r"std::(thread|jthread|async|launch|mutex|shared_mutex"
+            r"|recursive_mutex|timed_mutex|scoped_lock|lock_guard"
+            r"|unique_lock|shared_lock|condition_variable(_any)?"
+            r"|atomic\w*|future|shared_future|packaged_task|barrier"
+            r"|latch|counting_semaphore|binary_semaphore|stop_token"
+            r"|this_thread)\b"
+            r"|#\s*include\s*<(thread|atomic|mutex|shared_mutex|future"
+            r"|condition_variable|barrier|latch|semaphore|stop_token)>"
+        ),
+        "threading primitive in simulator code; a simulation is "
+        "single-threaded by contract — parallelism belongs between "
+        "simulations, in src/sweep/ only",
+    ),
+    (
         "stdout",
         re.compile(
             r"std::(cout|cerr|clog)\b"
@@ -75,6 +98,14 @@ PATTERN_RULES = [
 ]
 
 ALLOW_RE = re.compile(r"simlint-allow:\s*([\w-]+)")
+
+# The one place allowed to touch threads: the between-simulations sweep
+# runner (see its header for why that preserves determinism).
+THREADING_WHITELIST_DIRS = {"sweep"}
+
+
+def threading_exempt(path: Path) -> bool:
+    return bool(THREADING_WHITELIST_DIRS.intersection(path.parts))
 
 
 def strip_comments_and_strings(text: str) -> tuple[str, dict[int, set[str]]]:
@@ -260,6 +291,8 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
 
     for line_no, line_text in enumerate(stripped.splitlines(), start=1):
         for rule, pattern, message in PATTERN_RULES:
+            if rule == "threading" and threading_exempt(path):
+                continue
             if pattern.search(line_text) and not allowed(rule, line_no):
                 findings.append((path, line_no, rule, message))
 
