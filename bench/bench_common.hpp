@@ -33,6 +33,12 @@ struct Output {
   // whole machine). Output is bit-identical for every N; see
   // sweep/sweep_runner.hpp.
   int jobs = 1;
+  // --express: opt into the fabric's express message path for the app
+  // harnesses (run_app). Wall-clock only by intent, but contended
+  // collectives can shift same-instant event order and drift simulated
+  // time by microseconds — published artifacts are generated without it
+  // (see ClusterConfig::express).
+  bool express = false;
   void emit(const std::string& title, const util::Table& t) const {
     if (csv) {
       t.print_csv(std::cout);
@@ -49,6 +55,7 @@ inline Output parse_output(int argc, char** argv) {
   Output out;
   out.csv = flags.get_bool("csv", false);
   out.jobs = static_cast<int>(flags.get_int("jobs", 1));
+  out.express = flags.get_bool("express", false);
   flags.reject_unknown();
   return out;
 }
@@ -102,9 +109,11 @@ inline util::Table series_table(
 /// simulated seconds (rank 0).
 inline double run_app(const std::string& name, cluster::Net net,
                       std::size_t nodes, int ppn = 1,
-                      cluster::Bus bus = cluster::Bus::kDefault) {
+                      cluster::Bus bus = cluster::Bus::kDefault,
+                      bool express = false) {
   cluster::ClusterConfig cfg{
-      .nodes = nodes, .ppn = ppn, .net = net, .bus = bus};
+      .nodes = nodes, .ppn = ppn, .net = net, .bus = bus,
+      .express = express};
   cluster::Cluster c(cfg);
   const auto& spec = apps::find_app(name);
   if (!spec.ranks_ok(c.ranks())) {

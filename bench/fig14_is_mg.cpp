@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
   const Row rows[] = {Row{"IS", 1.78, 2.89, 2.47}, Row{"MG", 5.81, 6.29, 6.04}};
   const auto secs = sweep_indexed(out, 6, [&](std::size_t i) {
     const std::string app = i / 3 == 0 ? "is" : "mg";
-    return run_app(app, kAllNets[i % 3], 8);
+    return run_app(app, kAllNets[i % 3], 8, 1, cluster::Bus::kDefault,
+                   out.express);
   });
   for (std::size_t r = 0; r < 2; ++r) {
     t.row()

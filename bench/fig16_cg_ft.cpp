@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
   const Row rows[] = {Row{"cg", 28.68, 29.65, 30.12},
                       Row{"ft", 37.92, 41.40, 43.23}};
   const auto secs = sweep_indexed(out, 6, [&](std::size_t i) {
-    return run_app(rows[i / 3].app, kAllNets[i % 3], 8);
+    return run_app(rows[i / 3].app, kAllNets[i % 3], 8, 1,
+                   cluster::Bus::kDefault, out.express);
   });
   for (std::size_t r = 0; r < 2; ++r) {
     t.row()

@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
   const Row rows[] = {Row{"s3d50", "50", 3.59, 3.57, 4.38},
                       Row{"s3d150", "150", 91.43, 89.66, 95.99}};
   const auto secs = sweep_indexed(out, 6, [&](std::size_t i) {
-    return run_app(rows[i / 3].app, kAllNets[i % 3], 8);
+    return run_app(rows[i / 3].app, kAllNets[i % 3], 8, 1,
+                   cluster::Bus::kDefault, out.express);
   });
   for (std::size_t r = 0; r < 2; ++r) {
     t.row()

@@ -7,9 +7,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <functional>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "ib/ib_fabric.hpp"
+#include "model/node_hw.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sweep/sweep_runner.hpp"
@@ -73,6 +76,88 @@ static void BM_MpiLatencySim(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_MpiLatencySim)->Unit(benchmark::kMillisecond);
+
+// Message data path, fabric level: an uncontended ping-pong stream of
+// 64 KB messages over the IB model (32 MTU packets each), every message
+// posted as the previous one lands. Arg 0 forces the pooled packet state
+// machine; Arg 1 enables the express closed-form path — the intended
+// steady state, expected >= 2x the packet machine's message throughput.
+// Simulated timing is bit-identical between the two.
+static void BM_MessagePathStream(benchmark::State& state) {
+  const bool express = state.range(0) != 0;
+  constexpr int kMsgs = 2000;
+  for (auto _ : state) {
+    sim::Engine eng;
+    model::NodeHw a(eng, model::pcix_133(), model::xeon_2003_memcpy());
+    model::NodeHw b(eng, model::pcix_133(), model::xeon_2003_memcpy());
+    std::vector<model::NodeHw*> nodes{&a, &b};
+    ib::IbFabric fab(eng, nodes, ib::default_ib_config(2));
+    fab.set_express(express);
+    int left = kMsgs;
+    std::function<void()> bounce = [&] {
+      if (--left == 0) return;
+      model::NetMsg m;
+      m.src = left % 2;  // alternate direction each bounce
+      m.dst = 1 - m.src;
+      m.bytes = 64 << 10;
+      m.remote_arrival = bounce;
+      fab.post(std::move(m));
+    };
+    model::NetMsg first;
+    first.src = 0;
+    first.dst = 1;
+    first.bytes = 64 << 10;
+    first.remote_arrival = bounce;
+    fab.post(std::move(first));
+    eng.run();
+    benchmark::DoNotOptimize(fab.messages_delivered());
+  }
+  state.SetItemsProcessed(state.iterations() * kMsgs);
+}
+BENCHMARK(BM_MessagePathStream)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Same data path under fan-in contention: two senders stream into one
+// receiver, so express launches keep getting demoted back to packet
+// granularity. Tracks the demotion overhead (Arg 1) against the plain
+// packet machine (Arg 0).
+static void BM_MessagePathContended(benchmark::State& state) {
+  const bool express = state.range(0) != 0;
+  constexpr int kPerStream = 1000;
+  for (auto _ : state) {
+    sim::Engine eng;
+    model::NodeHw a(eng, model::pcix_133(), model::xeon_2003_memcpy());
+    model::NodeHw b(eng, model::pcix_133(), model::xeon_2003_memcpy());
+    model::NodeHw c(eng, model::pcix_133(), model::xeon_2003_memcpy());
+    std::vector<model::NodeHw*> nodes{&a, &b, &c};
+    ib::IbFabric fab(eng, nodes, ib::default_ib_config(3));
+    fab.set_express(express);
+    int left[2] = {kPerStream, kPerStream};
+    std::function<void()> repost[2];
+    for (int s = 0; s < 2; ++s) {
+      repost[s] = [&, s] {
+        if (--left[s] == 0) return;
+        model::NetMsg m;
+        m.src = s;
+        m.dst = 2;
+        m.bytes = 16 << 10;
+        m.remote_arrival = repost[s];
+        fab.post(std::move(m));
+      };
+      model::NetMsg m;
+      m.src = s;
+      m.dst = 2;
+      m.bytes = 16 << 10;
+      m.remote_arrival = repost[s];
+      fab.post(std::move(m));
+    }
+    eng.run();
+    benchmark::DoNotOptimize(fab.messages_delivered());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kPerStream);
+}
+BENCHMARK(BM_MessagePathContended)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 // Frame-pool churn: every spawn allocates a Root frame plus a Task frame,
 // and every completion retires both, so each wave recycles its frames

@@ -67,6 +67,7 @@ Cluster::Cluster(const ClusterConfig& cfg)
       auto fc = ib::default_ib_config(cfg_.nodes);
       if (cfg_.tweak_ib) cfg_.tweak_ib(fc);
       ib_ = std::make_unique<ib::IbFabric>(*eng_, node_ptrs, fc);
+      ib_->set_express(cfg_.express);
       auto cc = mpi::default_ch_ib_config();
       if (cfg_.tweak_channel) cfg_.tweak_channel(cc);
       mpi_->set_device(mpi::make_ch_ib(*mpi_, *ib_, cc));
@@ -76,6 +77,7 @@ Cluster::Cluster(const ClusterConfig& cfg)
       auto fc = gm::default_gm_config(cfg_.nodes);
       if (cfg_.tweak_gm) cfg_.tweak_gm(fc);
       gm_ = std::make_unique<gm::GmFabric>(*eng_, node_ptrs, fc);
+      gm_->set_express(cfg_.express);
       auto cc = mpi::default_ch_gm_config();
       if (cfg_.tweak_channel) cfg_.tweak_channel(cc);
       mpi_->set_device(mpi::make_ch_gm(*mpi_, *gm_, cc));
@@ -85,6 +87,7 @@ Cluster::Cluster(const ClusterConfig& cfg)
       auto fc = elan::default_elan_config(cfg_.nodes);
       if (cfg_.tweak_elan) cfg_.tweak_elan(fc);
       elan_ = std::make_unique<elan::ElanFabric>(*eng_, node_ptrs, fc);
+      elan_->set_express(cfg_.express);
       auto cc = mpi::default_elan_channel_config();
       if (cfg_.tweak_elan_channel) cfg_.tweak_elan_channel(cc);
       mpi_->set_device(mpi::make_ch_elan(*mpi_, *elan_, cc));

@@ -78,6 +78,11 @@ void GmFabric::register_audits(audit::AuditReport& report) {
   }
 }
 
+void GmFabric::collect_pipes(std::vector<model::Pipe*>& out) {
+  NetFabric::collect_pipes(out);
+  for (auto& p : sram_) out.push_back(p.get());
+}
+
 model::Pipe* GmFabric::staging_pipe(int node_id, const model::NetMsg& msg) {
   // Small messages fit comfortably in SRAM buffers; only bulk transfers
   // contend for staging bandwidth.

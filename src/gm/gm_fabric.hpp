@@ -53,6 +53,9 @@ class GmFabric final : public model::NetFabric {
   /// ports), idle SRAM staging, and pin-down cache conservation laws.
   void register_audits(audit::AuditReport& report) override;
 
+  /// Base pipes plus the SRAM staging stages.
+  void collect_pipes(std::vector<model::Pipe*>& out) override;
+
  protected:
   model::Pipe* staging_pipe(int node_id, const model::NetMsg& msg) override;
 

@@ -37,6 +37,8 @@ class HostBus {
 
   const BusConfig& config() const { return cfg_; }
   const Pipe& pipe() const { return pipe_; }
+  /// Mutable pipe access for the fabric's reservation-driven data path.
+  Pipe& pipe() { return pipe_; }
 
  private:
   Pipe pipe_;

@@ -12,13 +12,23 @@
 // (src == dst, the "NIC loopback" path some MPI devices use) skip the
 // switch.
 //
+// Data-path implementation (see DESIGN.md "message data path"): each
+// message is driven by a slab-pooled MsgFlow state machine stepping the
+// packet event sequence through raw EventFn continuations — no coroutine
+// frames, no shared_ptr, no allocation after warm-up. When a message can
+// prove exclusive occupancy of its full bus/tx/switch/rx window it takes
+// the express path: the whole per-packet trajectory is applied to the
+// pipes in one closed-form replay and only terminal events are scheduled,
+// with claims on every pipe so a competing reservation demotes the flow
+// back to packet granularity with bit-identical timing.
+//
 // The three interconnects subclass this and add their quirks through the
 // protected hooks: Myrinet's shared SRAM staging, Quadrics' NIC MMU walks
 // and DMA-queue-overflow penalty, InfiniBand's per-connection resources.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <functional>  // simlint-allow: model-alloc
 #include <memory>
 #include <vector>
 
@@ -36,7 +46,9 @@ class AuditReport;
 namespace mns::model {
 
 /// One message travelling the fabric. Callbacks are how the MPI device
-/// layers react; the fabric itself never touches payload bytes.
+/// layers react; the fabric itself never touches payload bytes. The
+/// callbacks are per-message (never per-packet), so type-erased closures
+/// are acceptable here.
 struct NetMsg {
   int src = 0;
   int dst = 0;
@@ -47,8 +59,8 @@ struct NetMsg {
   /// directed-send acknowledgement); eager sends complete when the last
   /// byte has left the sender NIC.
   bool complete_on_delivery = false;
-  std::function<void()> local_complete;  // sender buffer reusable
-  std::function<void()> remote_arrival;  // last byte in remote memory
+  std::function<void()> local_complete;  // simlint-allow: model-alloc
+  std::function<void()> remote_arrival;  // simlint-allow: model-alloc
 };
 
 struct NicConfig {
@@ -75,7 +87,7 @@ class NetFabric {
  public:
   NetFabric(sim::Engine& eng, std::vector<NodeHw*> nodes,
             const SwitchConfig& sw, const NicConfig& nic);
-  virtual ~NetFabric() = default;
+  virtual ~NetFabric();
   NetFabric(const NetFabric&) = delete;
   NetFabric& operator=(const NetFabric&) = delete;
 
@@ -92,17 +104,36 @@ class NetFabric {
   std::uint64_t messages_posted() const { return posted_; }
   std::uint64_t messages_delivered() const { return delivered_; }
 
+  /// Enable/disable the uncontended express path (default on). Timing is
+  /// bit-identical either way — the toggle exists for the equivalence
+  /// property tests and for benchmarking the packet machine itself.
+  void set_express(bool on) { express_enabled_ = on; }
+  bool express_enabled() const { return express_enabled_; }
+  /// Messages whose whole window ran express (no demotion).
+  std::uint64_t express_messages() const { return express_msgs_; }
+  /// Express launches demoted back to packet granularity by a competing
+  /// reservation landing inside the claimed window.
+  std::uint64_t express_demotions() const { return express_demotions_; }
+
   /// Finalize-time conservation checks: every posted message delivered,
-  /// every broadcast completed, all NIC/switch stages idle. Subclasses
-  /// extend with their own invariants (per-QP memory, DMA descriptors).
+  /// every broadcast completed, all NIC/switch stages idle, no live
+  /// message flows and no dangling pipe claims. Subclasses extend with
+  /// their own invariants (per-QP memory, DMA descriptors).
   virtual void register_audits(audit::AuditReport& report);
+
+  /// Append every pipe of the fabric data path (tx/rx/NIC processors,
+  /// switching stages, host buses) to `out` — stats and equivalence-test
+  /// use. Subclasses append extra stages (GM SRAM staging).
+  virtual void collect_pipes(std::vector<Pipe*>& out);
 
   /// Switch-level multicast: one injection from `src`'s NIC, replicated by
   /// the crossbar to every other node (Elite hardware broadcast; IB
   /// multicast groups). `extra_setup` models the protocol envelope;
-  /// `on_delivered` fires when every copy has landed.
+  /// `on_delivered` fires when every copy has landed. Legs are chunked
+  /// with the same pipelining granularity as unicast messages.
   void post_switch_broadcast(int src, std::uint64_t bytes,
                              sim::Time extra_setup,
+                             // simlint-allow: model-alloc (per-broadcast callback)
                              std::function<void()> on_delivered);
 
  protected:
@@ -111,13 +142,23 @@ class NetFabric {
   /// Stall before injection, occupying the tx pipe (e.g. source MMU walk).
   virtual sim::Time tx_stall(const NetMsg& msg);
   /// Stall before delivery, occupying the rx pipe (e.g. dest MMU walk).
+  /// Called once per message, at first-packet delivery time — except for
+  /// express-eligible messages (see express_rx_ok), whose value is
+  /// evaluated at launch; such messages must make this a pure function.
   virtual sim::Time rx_stall(const NetMsg& msg);
   /// Optional extra shared stage for this message on `node`'s NIC
-  /// (Myrinet SRAM staging). Return nullptr for none.
+  /// (Myrinet SRAM staging). Return nullptr for none. Must be a pure
+  /// function of (node, msg): the data path resolves it once per message.
   virtual Pipe* staging_pipe(int node_id, const NetMsg& msg);
   /// Book-keeping hooks (outstanding-message tracking).
   virtual void on_posted(const NetMsg& msg);
   virtual void on_delivered(const NetMsg& msg);
+  /// Express-path veto: return true only when rx_stall(msg) is a pure
+  /// function (no hidden NIC state mutation), so the express path may
+  /// evaluate it at launch instead of at first-packet delivery. Quadrics
+  /// overrides this: its destination MMU walk is stateful for
+  /// host-addressed payloads.
+  virtual bool express_rx_ok(const NetMsg& msg) const;
 
   Pipe& tx_pipe(int node_id) { return *tx_[static_cast<std::size_t>(node_id)]; }
   Pipe& rx_pipe(int node_id) { return *rx_[static_cast<std::size_t>(node_id)]; }
@@ -126,16 +167,45 @@ class NetFabric {
   }
 
  private:
-  struct MsgState {
-    NetMsg msg;
-    std::uint64_t packets_left_tx;  // through the sender NIC
-    std::uint64_t packets_left;     // through the whole path
-    bool first_packet = true;
+  struct MsgFlow;   // pooled per-message state machine (netfabric.cpp)
+  friend struct MsgFlowAccess;  // test backdoor (equivalence property test)
+
+  /// Pipelining granularity: MTU-sized packets, but capped at 64 chunks
+  /// per message so huge transfers stay cheap to simulate (the pipeline
+  /// fill/drain error of coarser chunking is under 2%). Shared by the
+  /// unicast data path and the switch-broadcast legs.
+  struct ChunkPlan {
+    std::uint64_t chunk;
+    std::uint64_t packets;
   };
+  static ChunkPlan chunk_plan(std::uint64_t bytes, std::uint32_t mtu);
 
   sim::Task<void> sender_loop(int node_id);
-  sim::Task<void> packet_tail(std::uint64_t pkt,
-                              std::shared_ptr<MsgState> state);
+
+  MsgFlow* acquire_flow();
+  void release_flow(MsgFlow& f);
+  void maybe_release(MsgFlow& f);
+
+  void init_flow(MsgFlow& f, NetMsg msg);
+  bool can_express(const MsgFlow& f) const;
+  /// Bulk-apply the flow and claim its window; false when the closed form
+  /// cannot represent the packet path faithfully (rx-overtake, see
+  /// replay_flow) — pipes are rolled back and the caller must run the
+  /// packet machine.
+  bool express_launch(MsgFlow& f);
+  void demote(MsgFlow& f);
+  /// Closed-form replay of the packet trajectory. `materialize == false`:
+  /// express launch — apply every reservation and schedule the terminal
+  /// events; returns false (abort, no events scheduled) if a later
+  /// packet's rx arrival would overtake the first packet's processor-gated
+  /// rx reservation, because that interleaving is event-order-dependent.
+  /// `materialize == true`: demotion — re-apply reservations whose
+  /// (virtual) event time has passed, re-run their counter/callback side
+  /// effects, and schedule real packet-machine events for everything still
+  /// in flight; always returns true.
+  bool replay_flow(MsgFlow& f, bool materialize);
+  void flow_step(MsgFlow& f, std::uintptr_t word);
+  void deliver(MsgFlow& f);
 
   sim::Engine* eng_;
   std::vector<NodeHw*> nodes_;
@@ -145,6 +215,15 @@ class NetFabric {
   std::vector<std::unique_ptr<Pipe>> rx_;
   std::vector<std::unique_ptr<Pipe>> nic_proc_;  // shared protocol processor
   std::vector<std::unique_ptr<sim::Mailbox<NetMsg>>> sendq_;
+  // Frame-pool-style slab of recycled MsgFlow objects: `flow_slab_` owns,
+  // `flow_free_` threads the idle ones, `flows_active_` is audited back to
+  // zero at finalize.
+  std::vector<std::unique_ptr<MsgFlow>> flow_slab_;
+  MsgFlow* flow_free_ = nullptr;
+  std::size_t flows_active_ = 0;
+  bool express_enabled_ = true;
+  std::uint64_t express_msgs_ = 0;
+  std::uint64_t express_demotions_ = 0;
   std::uint64_t posted_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t bcasts_posted_ = 0;

@@ -37,6 +37,8 @@ inline sim::Task<void> pipelined_transfer(sim::Engine& eng,
     sim::Trigger done;
     Shared(sim::Engine& e, std::uint64_t n) : remaining(n), done(e) {}
   };
+  // Didactic reference path, used by tests only; the production data
+  // path is NetFabric's pooled MsgFlow. simlint-allow: model-alloc
   auto shared = std::make_shared<Shared>(eng, packets);
 
   // Injection is closed-loop: packet p+1 enters the first stage only after

@@ -43,6 +43,8 @@ class CrossbarSwitch {
     return out_[dst];
   }
 
+  std::size_t ports() const { return out_.size(); }
+
   const SwitchConfig& config() const { return cfg_; }
 
  private:

@@ -7,6 +7,11 @@
 // stage. Inter-leaf traffic crosses a shared per-leaf uplink and the
 // spine, so hot-spot and all-to-all patterns contend where a single
 // crossbar would not.
+//
+// A topology exposes its path as an ordered list of hop pipes (`hops`) so
+// the fabric's pooled message state machines can reserve each stage
+// without a coroutine; `route` is the coroutine convenience over the same
+// hop list, used by the broadcast path.
 #pragma once
 
 #include <cstdint>
@@ -19,11 +24,30 @@ namespace mns::model {
 
 class SwitchTopology {
  public:
+  /// Upper bound on switching-stage hops in any topology (fat tree:
+  /// uplink, spine port, leaf port).
+  static constexpr int kMaxHops = 3;
+
   virtual ~SwitchTopology() = default;
+
+  /// Fill `out` with the switching-stage pipes a packet from `src` to
+  /// `dst` crosses, in traversal order; returns the hop count (<=
+  /// kMaxHops). The list depends only on (src, dst) — topologies route
+  /// deterministically — so callers may reserve the hops stage by stage.
+  virtual int hops(int src, int dst, Pipe* out[kMaxHops]) = 0;
+
+  virtual const char* name() const = 0;
+
   /// Move one packet from `src` node's link to `dst` node's link through
   /// the switching stage(s).
-  virtual sim::Task<void> route(int src, int dst, std::uint64_t bytes) = 0;
-  virtual const char* name() const = 0;
+  sim::Task<void> route(int src, int dst, std::uint64_t bytes) {
+    Pipe* hop[kMaxHops];
+    const int n = hops(src, dst, hop);
+    for (int i = 0; i < n; ++i) co_await hop[i]->transfer(bytes);
+  }
+
+  /// Append every pipe in the switching stage to `out` (stats/audit use).
+  virtual void collect_pipes(std::vector<Pipe*>& out) = 0;
 };
 
 /// Every node on one full crossbar (the paper's configuration).
@@ -32,10 +56,15 @@ class SingleCrossbar final : public SwitchTopology {
   SingleCrossbar(sim::Engine& eng, const SwitchConfig& cfg)
       : sw_(eng, cfg) {}
 
-  sim::Task<void> route(int /*src*/, int dst, std::uint64_t bytes) override {
-    return sw_.forward(static_cast<std::size_t>(dst), bytes);
+  int hops(int /*src*/, int dst, Pipe* out[kMaxHops]) override {
+    out[0] = &sw_.port(static_cast<std::size_t>(dst));
+    return 1;
   }
   const char* name() const override { return "crossbar"; }
+
+  void collect_pipes(std::vector<Pipe*>& out) override {
+    for (std::size_t p = 0; p < sw_.ports(); ++p) out.push_back(&sw_.port(p));
+  }
 
  private:
   CrossbarSwitch sw_;
@@ -64,17 +93,29 @@ class FatTree final : public SwitchTopology {
     spine_ = std::make_unique<CrossbarSwitch>(eng, spine_cfg);
   }
 
-  sim::Task<void> route(int src, int dst, std::uint64_t bytes) override {
+  int hops(int src, int dst, Pipe* out[kMaxHops]) override {
     const std::size_t src_leaf = static_cast<std::size_t>(src) / leaf_radix_;
     const std::size_t dst_leaf = static_cast<std::size_t>(dst) / leaf_radix_;
     const std::size_t dst_port = static_cast<std::size_t>(dst) % leaf_radix_;
+    int n = 0;
     if (src_leaf != dst_leaf) {
-      co_await up_[src_leaf]->transfer(bytes);          // leaf -> spine
-      co_await spine_->forward(dst_leaf, bytes);        // spine crossbar
+      out[n++] = up_[src_leaf].get();        // leaf -> spine
+      out[n++] = &spine_->port(dst_leaf);    // spine crossbar
     }
-    co_await leaves_[dst_leaf]->forward(dst_port, bytes);  // leaf -> node
+    out[n++] = &leaves_[dst_leaf]->port(dst_port);  // leaf -> node
+    return n;
   }
   const char* name() const override { return "fat-tree"; }
+
+  void collect_pipes(std::vector<Pipe*>& out) override {
+    for (auto& u : up_) out.push_back(u.get());
+    for (std::size_t p = 0; p < spine_->ports(); ++p)
+      out.push_back(&spine_->port(p));
+    for (auto& leaf : leaves_) {
+      for (std::size_t p = 0; p < leaf->ports(); ++p)
+        out.push_back(&leaf->port(p));
+    }
+  }
 
   std::size_t leaf_radix() const { return leaf_radix_; }
 

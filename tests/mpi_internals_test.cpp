@@ -78,6 +78,62 @@ TEST(Matcher, TagSelectivity) {
   EXPECT_FALSE(m.match_arrival(Envelope{1, 0, 7, 8}));  // wrong source
 }
 
+TEST(Matcher, WildcardAndDirectedInterleaveByPostOrder) {
+  // Directed receives live in (src, tag) buckets, wildcards on a side
+  // list; matching must still follow global post order across the two.
+  sim::Engine eng;
+  Matcher m;
+  auto r1 = std::make_shared<RequestState>(eng);
+  auto r2 = std::make_shared<RequestState>(eng);
+  auto r3 = std::make_shared<RequestState>(eng);
+  auto r4 = std::make_shared<RequestState>(eng);
+  m.post(PostedRecv{1, 5, View::synth(1, 8), r1});          // exact
+  m.post(PostedRecv{kAnySource, 5, View::synth(2, 8), r2});  // wildcard
+  m.post(PostedRecv{1, 5, View::synth(3, 8), r3});          // exact
+  m.post(PostedRecv{kAnySource, kAnyTag, View::synth(4, 8), r4});
+  const Envelope env{1, 0, 5, 8};
+  auto a = m.match_arrival(env);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->req.get(), r1.get());  // oldest overall, exact bucket
+  auto b = m.match_arrival(env);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->req.get(), r2.get());  // wildcard posted before r3
+  auto c = m.match_arrival(env);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->req.get(), r3.get());
+  // Remaining any/any wildcard catches an unrelated envelope.
+  auto d = m.match_arrival(Envelope{9, 0, 99, 8});
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->req.get(), r4.get());
+  EXPECT_EQ(m.posted_count(), 0u);
+  EXPECT_FALSE(m.match_arrival(env));
+}
+
+TEST(Matcher, UnexpectedWildcardDrainsOldestAcrossBuckets) {
+  // Unexpected messages bucket by their concrete (src, tag); a wildcard
+  // receive must still claim them in arrival order across buckets.
+  Matcher m;
+  auto claim = [](PostedRecv) -> sim::Task<void> { co_return; };
+  m.add_unexpected({Envelope{2, 0, 1, 10}, claim});
+  m.add_unexpected({Envelope{3, 0, 1, 20}, claim});
+  m.add_unexpected({Envelope{2, 0, 7, 30}, claim});
+  const Unexpected* peek = m.peek_unexpected(kAnySource, 1);
+  ASSERT_TRUE(peek);
+  EXPECT_EQ(peek->env.bytes, 10u);
+  auto u1 = m.match_posted(kAnySource, 1);
+  ASSERT_TRUE(u1);
+  EXPECT_EQ(u1->env.src, 2);
+  EXPECT_EQ(u1->env.bytes, 10u);
+  auto u2 = m.match_posted(kAnySource, kAnyTag);
+  ASSERT_TRUE(u2);
+  EXPECT_EQ(u2->env.bytes, 20u);  // older than the tag-7 message
+  auto u3 = m.match_posted(2, 7);
+  ASSERT_TRUE(u3);
+  EXPECT_EQ(u3->env.bytes, 30u);
+  EXPECT_EQ(m.unexpected_count(), 0u);
+  EXPECT_FALSE(m.peek_unexpected(kAnySource, kAnyTag));
+}
+
 TEST(Matcher, UnexpectedQueueFifo) {
   Matcher m;
   int claimed = 0;

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""bench_compare: gate engine-performance regressions between two
+google-benchmark JSON reports (BENCH_engine.json).
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.30]
+
+Compares items_per_second for every benchmark present in BOTH reports
+(aggregates like _mean/_median and benchmarks without an items/s counter
+are skipped). A benchmark whose throughput dropped by more than the
+threshold (default 30%, chosen to ride out CI-runner noise while still
+catching real data-path regressions like an express-path fallback or a
+per-packet allocation creeping back in) fails the run.
+
+New benchmarks (in CURRENT only) and retired ones (BASELINE only) are
+reported but never fail: the gate must not block adding or removing
+benchmarks.
+
+Exit status: 0 ok, 1 regression(s), 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_items_per_second(path: Path) -> dict[str, float]:
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    out: dict[str, float] = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # _mean/_median/_stddev aggregates
+        ips = b.get("items_per_second")
+        name = b.get("name")
+        if name and isinstance(ips, (int, float)) and ips > 0:
+            out[name] = float(ips)
+    return out
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", type=Path)
+    ap.add_argument("current", type=Path)
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="max tolerated fractional throughput drop "
+                         "(default 0.30)")
+    args = ap.parse_args(argv[1:])
+
+    base = load_items_per_second(args.baseline)
+    cur = load_items_per_second(args.current)
+    if not base:
+        print("bench_compare: baseline has no comparable benchmarks; "
+              "nothing to gate")
+        return 0
+
+    regressions = []
+    width = max((len(n) for n in base.keys() | cur.keys()), default=0)
+    for name in sorted(base.keys() | cur.keys()):
+        if name not in base:
+            print(f"  {name:<{width}}  NEW")
+            continue
+        if name not in cur:
+            print(f"  {name:<{width}}  RETIRED")
+            continue
+        ratio = cur[name] / base[name]
+        verdict = "ok"
+        if ratio < 1.0 - args.threshold:
+            verdict = "REGRESSION"
+            regressions.append((name, ratio))
+        print(f"  {name:<{width}}  {base[name]:>14.0f} -> {cur[name]:>14.0f} "
+              f"items/s  ({ratio:6.2%})  {verdict}")
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} benchmark(s) lost more "
+              f"than {args.threshold:.0%} throughput", file=sys.stderr)
+        return 1
+    print("bench_compare: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,6 +21,11 @@ statically:
                   whitelisted directory); a simulation itself is
                   single-threaded by contract, which is what makes runs
                   deterministic and --jobs N bit-identical to --jobs 1.
+  model-alloc     no std::make_shared / std::function in src/model — the
+                  message data path is pooled state machines driven by raw
+                  EventFn continuations, allocation-free after warm-up.
+                  Per-message (never per-packet) closures and control-path
+                  setup code carry explicit simlint-allow comments.
   coro-ref-capture  no lambda coroutine that captures by reference and
                   ESCAPES its enclosing scope. The lambda object dies with
                   the scope, but the coroutine frame built from it lives
@@ -95,6 +100,14 @@ PATTERN_RULES = [
         "stdout/stderr output in library code; return data and let "
         "bench/examples/tools print",
     ),
+    (
+        "model-alloc",
+        re.compile(r"std::(make_shared|function)\b"),
+        "type-erased/shared allocation in src/model hot-path code; the "
+        "data path runs one pooled state machine per message (raw EventFn "
+        "continuations, freelist recycling) — per-message closures or "
+        "control-path code must carry an explicit simlint-allow",
+    ),
 ]
 
 ALLOW_RE = re.compile(r"simlint-allow:\s*([\w-]+)")
@@ -103,9 +116,18 @@ ALLOW_RE = re.compile(r"simlint-allow:\s*([\w-]+)")
 # runner (see its header for why that preserves determinism).
 THREADING_WHITELIST_DIRS = {"sweep"}
 
+# model-alloc applies only to the machine-model layer (src/model), whose
+# per-message/per-packet path is required to be allocation-free after
+# warm-up. MPI devices and apps may use type-erased closures freely.
+MODEL_ALLOC_DIRS = {"model"}
+
 
 def threading_exempt(path: Path) -> bool:
     return bool(THREADING_WHITELIST_DIRS.intersection(path.parts))
+
+
+def model_alloc_applies(path: Path) -> bool:
+    return bool(MODEL_ALLOC_DIRS.intersection(path.parts))
 
 
 def strip_comments_and_strings(text: str) -> tuple[str, dict[int, set[str]]]:
@@ -292,6 +314,8 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
     for line_no, line_text in enumerate(stripped.splitlines(), start=1):
         for rule, pattern, message in PATTERN_RULES:
             if rule == "threading" and threading_exempt(path):
+                continue
+            if rule == "model-alloc" and not model_alloc_applies(path):
                 continue
             if pattern.search(line_text) and not allowed(rule, line_no):
                 findings.append((path, line_no, rule, message))
