@@ -7,6 +7,8 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <type_traits>
@@ -15,6 +17,7 @@
 
 #include "apps/registry.hpp"
 #include "cluster/cluster.hpp"
+#include "fault/fault.hpp"
 #include "microbench/microbench.hpp"
 #include "sweep/sweep_runner.hpp"
 #include "util/bytes.hpp"
@@ -39,6 +42,14 @@ struct Output {
   // time by microseconds — published artifacts are generated without it
   // (see ClusterConfig::express).
   bool express = false;
+  // --seed N / --faults SPEC: deterministic chaos harness (src/fault).
+  // Published artifacts are generated without --faults; with it, packet
+  // drops/corruption, link flaps, NIC stalls and registration failures
+  // are injected and the per-fabric recovery protocols (and their MPI
+  // degradation paths) carry the run to completion. --seed reseeds the
+  // plan; the same (seed, spec, workload) always yields the same run.
+  std::uint64_t seed = 1;
+  fault::FaultPlan faults;  // empty unless --faults was given
   void emit(const std::string& title, const util::Table& t) const {
     if (csv) {
       t.print_csv(std::cout);
@@ -51,12 +62,27 @@ struct Output {
 };
 
 inline Output parse_output(int argc, char** argv) {
-  util::Flags flags(argc, argv);
   Output out;
-  out.csv = flags.get_bool("csv", false);
-  out.jobs = static_cast<int>(flags.get_int("jobs", 1));
-  out.express = flags.get_bool("express", false);
-  flags.reject_unknown();
+  // CLI boundary: a malformed --seed/--faults/--jobs (or a typo'd flag)
+  // prints one clear line and exits 2 — never an unhandled
+  // std::invalid_argument out of main.
+  const int rc = util::run_cli([&] {
+    util::Flags flags(argc, argv);
+    out.csv = flags.get_bool("csv", false);
+    out.jobs = static_cast<int>(flags.get_int("jobs", 1));
+    out.express = flags.get_bool("express", false);
+    const bool seed_given = flags.has("seed");
+    out.seed = flags.get_uint("seed", 1);
+    const std::string spec = flags.get("faults", "");
+    if (!spec.empty()) {
+      out.faults = fault::FaultPlan::parse(spec);
+      // An explicit --seed overrides a seed: clause inside the spec.
+      if (seed_given) out.faults.set_seed(out.seed);
+    }
+    flags.reject_unknown();
+    return 0;
+  });
+  if (rc != 0) std::exit(rc);
   return out;
 }
 
@@ -110,10 +136,11 @@ inline util::Table series_table(
 inline double run_app(const std::string& name, cluster::Net net,
                       std::size_t nodes, int ppn = 1,
                       cluster::Bus bus = cluster::Bus::kDefault,
-                      bool express = false) {
+                      bool express = false,
+                      const fault::FaultPlan& faults = {}) {
   cluster::ClusterConfig cfg{
       .nodes = nodes, .ppn = ppn, .net = net, .bus = bus,
-      .express = express};
+      .express = express, .faults = faults};
   cluster::Cluster c(cfg);
   const auto& spec = apps::find_app(name);
   if (!spec.ranks_ok(c.ranks())) {

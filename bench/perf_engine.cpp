@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "fault/fault.hpp"
 #include "ib/ib_fabric.hpp"
 #include "model/node_hw.hpp"
 #include "sim/engine.hpp"
@@ -158,6 +159,49 @@ static void BM_MessagePathContended(benchmark::State& state) {
 }
 BENCHMARK(BM_MessagePathContended)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+// Recovery-path hot loop: the same fabric-level bounce stream as
+// BM_MessagePathStream, but with a 20% deterministic drop rate on the
+// 0->1 link — a retransmit storm. Exercises lose_packet/arm_rto/
+// resend_lost, the cancellable-timer slab, and the error surface (the
+// bounce continues through on_failed when a message exhausts its
+// budget), so the bench_compare regression gate covers the fault
+// machinery alongside the happy path.
+static void BM_RetransmitStorm(benchmark::State& state) {
+  constexpr int kMsgs = 1000;
+  for (auto _ : state) {
+    sim::Engine eng;
+    model::NodeHw a(eng, model::pcix_133(), model::xeon_2003_memcpy());
+    model::NodeHw b(eng, model::pcix_133(), model::xeon_2003_memcpy());
+    std::vector<model::NodeHw*> nodes{&a, &b};
+    ib::IbFabric fab(eng, nodes, ib::default_ib_config(2));
+    fault::FaultPlan plan;
+    plan.set_seed(7).drop(0, 1, 0.20).corrupt(1, 0, 0.05);
+    fab.set_fault_plan(plan);
+    int left = kMsgs;
+    std::function<void()> bounce = [&] {
+      if (--left == 0) return;
+      model::NetMsg m;
+      m.src = left % 2;
+      m.dst = 1 - m.src;
+      m.bytes = 16 << 10;
+      m.remote_arrival = bounce;
+      m.on_failed = bounce;  // an abandoned message must not stall the run
+      fab.post(std::move(m));
+    };
+    model::NetMsg first;
+    first.src = 0;
+    first.dst = 1;
+    first.bytes = 16 << 10;
+    first.remote_arrival = bounce;
+    first.on_failed = bounce;
+    fab.post(std::move(first));
+    eng.run();
+    benchmark::DoNotOptimize(fab.packets_retransmitted());
+  }
+  state.SetItemsProcessed(state.iterations() * kMsgs);
+}
+BENCHMARK(BM_RetransmitStorm)->Unit(benchmark::kMillisecond);
 
 // Frame-pool churn: every spawn allocates a Root frame plus a Task frame,
 // and every completion retires both, so each wave recycles its frames

@@ -95,6 +95,8 @@ Cluster::Cluster(const ClusterConfig& cfg)
     }
   }
 
+  if (!cfg_.faults.empty()) fabric().set_fault_plan(cfg_.faults);
+
   comms_.reserve(mpi_->size());
   for (std::size_t r = 0; r < mpi_->size(); ++r) {
     comms_.push_back(
@@ -108,6 +110,12 @@ Cluster::Cluster(const ClusterConfig& cfg)
   // thread-local and run() is synchronous, so nothing else can allocate
   // between the snapshot and the check).
   frame_pool_baseline_ = sim::frame_pool::stats().outstanding();
+}
+
+model::NetFabric& Cluster::fabric() {
+  if (ib_) return *ib_;
+  if (gm_) return *gm_;
+  return *elan_;
 }
 
 Cluster::~Cluster() {

@@ -20,6 +20,7 @@
 
 #include "audit/report.hpp"
 #include "elan/elan_fabric.hpp"
+#include "fault/fault.hpp"
 #include "gm/gm_fabric.hpp"
 #include "ib/ib_fabric.hpp"
 #include "model/node_hw.hpp"
@@ -58,6 +59,12 @@ struct ClusterConfig {
   // reproducible; turn on for wall-clock speed when bit-exactness across
   // the express toggle is not required.
   bool express = false;
+
+  /// Chaos harness (src/fault): deterministic packet drops / corruption,
+  /// link flaps, NIC stalls, and registration failures. Empty (the
+  /// default) leaves the data path bit-identical to a build without the
+  /// fault layer. Parse from a CLI spec with fault::FaultPlan::parse.
+  fault::FaultPlan faults;
 
   // Ablation/calibration hooks: mutate the default hardware or channel
   // parameters before construction.
@@ -101,6 +108,10 @@ class Cluster {
   std::uint64_t device_memory_bytes(int node) const {
     return mpi_->device().memory_bytes(node);
   }
+
+  /// The constructed fabric (whichever of the three cfg.net selected);
+  /// used by the chaos tests to read fault/recovery counters.
+  model::NetFabric& fabric();
 
  private:
   ClusterConfig cfg_;

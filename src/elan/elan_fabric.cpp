@@ -45,12 +45,22 @@ ElanConfig default_elan_config(std::size_t nodes) {
       .queue_overflow_penalty = Time::usec(2.5),
       .loopback_penalty = Time::usec(1.7),
       .memory_bytes = 7ULL << 20,
+      .recovery =
+          {
+              // Hardware retry: tight first timeout (the NIC notices a
+              // missing ack fast), backoff doubling to a 160 us ceiling.
+              .protocol = model::RecoveryConfig::Protocol::kHwRetry,
+              .rto = Time::us(10),
+              .backoff_cap = Time::us(160),
+              .retry_budget = 10,
+          },
   };
 }
 
 ElanFabric::ElanFabric(sim::Engine& eng, std::vector<model::NodeHw*> nodes,
                        const ElanConfig& cfg)
     : NetFabric(eng, std::move(nodes), cfg.switch_cfg, cfg.nic), cfg_(cfg) {
+  set_recovery(cfg_.recovery);
   mmu_.reserve(node_count());
   for (std::size_t i = 0; i < node_count(); ++i) {
     mmu_.emplace_back(cfg_.mmu);
@@ -96,6 +106,10 @@ void ElanFabric::on_posted(const model::NetMsg& msg) {
 }
 
 void ElanFabric::on_delivered(const model::NetMsg& msg) {
+  --outstanding_[static_cast<std::size_t>(msg.src)];
+}
+
+void ElanFabric::on_aborted(const model::NetMsg& msg) {
   --outstanding_[static_cast<std::size_t>(msg.src)];
 }
 

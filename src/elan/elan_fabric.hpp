@@ -39,6 +39,11 @@ struct ElanConfig {
   sim::Time queue_overflow_penalty;  // extra per-message cost when over
   sim::Time loopback_penalty;      // intra-node NIC loopback extra cost
   std::uint64_t memory_bytes;      // flat MPI footprint (Fig. 13)
+
+  /// Elan hardware DMA retry: the NIC re-walks a failed DMA with bounded
+  /// exponential backoff, invisible to software until the retry budget is
+  /// gone (set in default_elan_config).
+  model::RecoveryConfig recovery;
 };
 
 /// Calibrated Elan3 QM-400 / Elite parameters.
@@ -87,6 +92,8 @@ class ElanFabric final : public model::NetFabric {
   bool express_rx_ok(const model::NetMsg& msg) const override;
   void on_posted(const model::NetMsg& msg) override;
   void on_delivered(const model::NetMsg& msg) override;
+  /// Retry exhaustion retires the QDMA descriptor like a delivery would.
+  void on_aborted(const model::NetMsg& msg) override;
 
  private:
   ElanConfig cfg_;

@@ -1,0 +1,249 @@
+#include "fault/fault.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+
+namespace mns::fault {
+
+namespace {
+
+void check_prob(const char* what, double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string(what) +
+                                ": probability must be in [0, 1]");
+  }
+}
+
+void check_node(const char* what, int node, bool allow_any) {
+  if (node == kAnyNode && allow_any) return;
+  if (node < 0) {
+    throw std::invalid_argument(std::string(what) +
+                                ": node index must be >= 0");
+  }
+}
+
+[[noreturn]] void bad_clause(const std::string& clause, const char* why) {
+  throw std::invalid_argument("--faults: bad clause '" + clause + "': " + why);
+}
+
+// Strict numeric parsers: the whole field must be consumed (no trailing
+// garbage), mirroring the hardened util::Flags accessors.
+std::uint64_t parse_u64(const std::string& clause, const std::string& s) {
+  if (s.empty()) bad_clause(clause, "expected a non-negative integer");
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(s, &pos);
+  } catch (const std::exception&) {
+    bad_clause(clause, "expected a non-negative integer");
+  }
+  if (pos != s.size() || s[0] == '-') {
+    bad_clause(clause, "expected a non-negative integer");
+  }
+  return v;
+}
+
+double parse_prob(const std::string& clause, const std::string& s) {
+  if (s.empty()) bad_clause(clause, "expected a probability in [0, 1]");
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    bad_clause(clause, "expected a probability in [0, 1]");
+  }
+  if (pos != s.size() || !(v >= 0.0 && v <= 1.0)) {
+    bad_clause(clause, "expected a probability in [0, 1]");
+  }
+  return v;
+}
+
+// "SRC-DST" or "*" -> node pair (wildcard = kAnyNode for both ends).
+std::pair<int, int> parse_link(const std::string& clause,
+                               const std::string& s) {
+  if (s == "*") return {kAnyNode, kAnyNode};
+  const std::size_t dash = s.find('-');
+  if (dash == std::string::npos) {
+    bad_clause(clause, "expected SRC-DST or *");
+  }
+  const auto src = parse_u64(clause, s.substr(0, dash));
+  const auto dst = parse_u64(clause, s.substr(dash + 1));
+  return {static_cast<int>(src), static_cast<int>(dst)};
+}
+
+int parse_node(const std::string& clause, const std::string& s) {
+  if (s == "*") return kAnyNode;
+  return static_cast<int>(parse_u64(clause, s));
+}
+
+std::vector<std::string> split(const std::string& s, const char* seps) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find_first_of(seps, start);
+    const std::size_t stop = end == std::string::npos ? s.size() : end;
+    if (stop > start) out.push_back(s.substr(start, stop - start));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::drop(int src, int dst, double prob) {
+  check_prob("FaultPlan::drop", prob);
+  check_node("FaultPlan::drop", src, /*allow_any=*/true);
+  check_node("FaultPlan::drop", dst, /*allow_any=*/true);
+  links_.push_back({src, dst, prob, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt(int src, int dst, double prob) {
+  check_prob("FaultPlan::corrupt", prob);
+  check_node("FaultPlan::corrupt", src, /*allow_any=*/true);
+  check_node("FaultPlan::corrupt", dst, /*allow_any=*/true);
+  links_.push_back({src, dst, 0.0, prob});
+  return *this;
+}
+
+FaultPlan& FaultPlan::flap(int src, int dst, sim::Time from, sim::Time to) {
+  check_node("FaultPlan::flap", src, /*allow_any=*/true);
+  check_node("FaultPlan::flap", dst, /*allow_any=*/true);
+  if (!(from < to)) {
+    throw std::invalid_argument("FaultPlan::flap: window must satisfy from < to");
+  }
+  flaps_.push_back({src, dst, from, to});
+  return *this;
+}
+
+FaultPlan& FaultPlan::nic_stall(int node, sim::Time at, sim::Time duration) {
+  check_node("FaultPlan::nic_stall", node, /*allow_any=*/false);
+  if (duration <= sim::Time::zero()) {
+    throw std::invalid_argument("FaultPlan::nic_stall: duration must be > 0");
+  }
+  stalls_.push_back({node, at, duration});
+  return *this;
+}
+
+FaultPlan& FaultPlan::reg_fail(int node, double prob) {
+  check_prob("FaultPlan::reg_fail", prob);
+  check_node("FaultPlan::reg_fail", node, /*allow_any=*/true);
+  reg_fails_.push_back({node, prob});
+  return *this;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  bool any = false;
+  for (const std::string& clause : split(spec, ";,")) {
+    const std::vector<std::string> f = split(clause, ":");
+    if (f.empty()) continue;
+    const std::string& kind = f[0];
+    if (kind == "seed") {
+      if (f.size() != 2) bad_clause(clause, "expected seed:N");
+      plan.set_seed(parse_u64(clause, f[1]));
+    } else if (kind == "drop" || kind == "corrupt") {
+      if (f.size() != 3) {
+        bad_clause(clause, "expected drop|corrupt:SRC-DST:PROB");
+      }
+      const auto [src, dst] = parse_link(clause, f[1]);
+      const double p = parse_prob(clause, f[2]);
+      if (kind == "drop") {
+        plan.drop(src, dst, p);
+      } else {
+        plan.corrupt(src, dst, p);
+      }
+      any = true;
+    } else if (kind == "flap") {
+      if (f.size() != 4) bad_clause(clause, "expected flap:SRC-DST:FROM_US:TO_US");
+      const auto [src, dst] = parse_link(clause, f[1]);
+      const auto from = parse_u64(clause, f[2]);
+      const auto to = parse_u64(clause, f[3]);
+      if (!(from < to)) bad_clause(clause, "flap window must satisfy FROM < TO");
+      plan.flap(src, dst, sim::Time::us(static_cast<std::int64_t>(from)),
+                sim::Time::us(static_cast<std::int64_t>(to)));
+      any = true;
+    } else if (kind == "stall") {
+      if (f.size() != 4) bad_clause(clause, "expected stall:NODE:AT_US:DUR_US");
+      const int node = parse_node(clause, f[1]);
+      if (node == kAnyNode) bad_clause(clause, "stall needs a concrete node");
+      const auto at = parse_u64(clause, f[2]);
+      const auto dur = parse_u64(clause, f[3]);
+      if (dur == 0) bad_clause(clause, "stall duration must be > 0");
+      plan.nic_stall(node, sim::Time::us(static_cast<std::int64_t>(at)),
+                     sim::Time::us(static_cast<std::int64_t>(dur)));
+      any = true;
+    } else if (kind == "regfail") {
+      if (f.size() != 3) bad_clause(clause, "expected regfail:NODE:PROB");
+      plan.reg_fail(parse_node(clause, f[1]), parse_prob(clause, f[2]));
+      any = true;
+    } else {
+      bad_clause(clause,
+                 "unknown fault kind (want seed, drop, corrupt, flap, "
+                 "stall, regfail)");
+    }
+  }
+  if (!any && !spec.empty()) {
+    // A spec that only sets a seed injects nothing; flag the likely typo.
+    if (plan.empty()) {
+      throw std::invalid_argument(
+          "--faults: spec '" + spec + "' configures no faults");
+    }
+  }
+  return plan;
+}
+
+Injector::Injector(const FaultPlan& plan, std::size_t nodes)
+    : nodes_(nodes), stalls_(plan.stalls()) {
+  // Independent per-link / per-node streams: each is seeded from the plan
+  // seed and its own coordinates via SplitMix64, so stream contents never
+  // depend on which other links are exercised or in what order.
+  links_.resize(nodes * nodes);
+  reg_.resize(nodes);
+  for (std::size_t s = 0; s < nodes; ++s) {
+    for (std::size_t d = 0; d < nodes; ++d) {
+      Link& l = links_[s * nodes + d];
+      util::SplitMix64 sm(plan.seed() ^ (0x9e37'79b9'0000'0000ULL +
+                                         (s << 20) + (d << 4) + 1));
+      l.rng = util::Rng(sm.next());
+    }
+  }
+  for (std::size_t n = 0; n < nodes; ++n) {
+    util::SplitMix64 sm(plan.seed() ^ (0x517c'c1b7'0000'0000ULL + (n << 4)));
+    reg_[n].rng = util::Rng(sm.next());
+  }
+  // Fold specs into the dense table; a wildcard applies to every matching
+  // link, a concrete spec overrides (last writer wins per field group).
+  auto each_link = [&](int src, int dst, auto&& fn) {
+    for (std::size_t s = 0; s < nodes; ++s) {
+      for (std::size_t d = 0; d < nodes; ++d) {
+        if (s == d) continue;
+        if (src != kAnyNode && static_cast<std::size_t>(src) != s) continue;
+        if (dst != kAnyNode && static_cast<std::size_t>(dst) != d) continue;
+        fn(links_[s * nodes + d]);
+      }
+    }
+  };
+  for (const LinkFaultSpec& f : plan.links()) {
+    each_link(f.src, f.dst, [&](Link& l) {
+      if (f.drop_prob > 0.0) l.drop = f.drop_prob;
+      if (f.corrupt_prob > 0.0) l.corrupt = f.corrupt_prob;
+    });
+  }
+  for (const FlapSpec& f : plan.flaps()) {
+    each_link(f.src, f.dst, [&](Link& l) {
+      l.flap_from = f.from;
+      l.flap_to = f.to;
+    });
+  }
+  for (const RegFailSpec& f : plan.reg_fails()) {
+    for (std::size_t n = 0; n < nodes; ++n) {
+      if (f.node != kAnyNode && static_cast<std::size_t>(f.node) != n) continue;
+      reg_[n].prob = f.prob;
+    }
+  }
+}
+
+}  // namespace mns::fault

@@ -1,0 +1,187 @@
+// Deterministic fault injection for the simulated interconnects.
+//
+// A FaultPlan is a pure value: a seed plus a list of fault specs (packet
+// drop/corrupt probabilities on a named link, link flap windows, NIC stall
+// intervals, registration-failure probabilities). It contains no mutable
+// state and can be copied between sweep points freely.
+//
+// An Injector is the per-simulation instantiation of a plan: it owns one
+// seeded RNG stream per link (and per node for registration failures), so
+// the verdict sequence drawn on a link is a pure function of (plan seed,
+// link, draw index) — independent of how draws on *other* links interleave.
+// That is what makes a faulted simulation deterministic across reruns and
+// across --jobs settings: each simulation builds its own Injector, nothing
+// is shared, and within one single-threaded simulation the draw order per
+// link is the event order, which is itself deterministic.
+//
+// Hot-path discipline (enforced by tools/simlint.py): packet_verdict and
+// reg_should_fail allocate nothing and consult only the pre-sized dense
+// per-link table built at construction time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace mns::fault {
+
+/// Outcome of one packet's traversal of a faulted link.
+enum class Verdict : std::uint8_t {
+  kDeliver = 0,
+  kDrop = 1,     // packet vanishes at the sender NIC (never enters the switch)
+  kCorrupt = 2,  // packet traverses the wire but fails its CRC at the receiver
+};
+
+/// Any node / any link wildcard for the spec setters below.
+inline constexpr int kAnyNode = -1;
+
+struct LinkFaultSpec {
+  int src = kAnyNode;  // kAnyNode = every source
+  int dst = kAnyNode;  // kAnyNode = every destination
+  double drop_prob = 0.0;
+  double corrupt_prob = 0.0;
+};
+
+/// During [from, to) every packet on the link is dropped (a hard outage,
+/// drawn without randomness).
+struct FlapSpec {
+  int src = kAnyNode;
+  int dst = kAnyNode;
+  sim::Time from;
+  sim::Time to;
+};
+
+/// At `at`, the node's NIC stops moving data for `duration` (both tx and
+/// rx DMA engines stall). Modelled as pipe occupancy, so it also breaks
+/// express-path claims and forces demotion of in-flight express flows.
+struct NicStallSpec {
+  int node = 0;
+  sim::Time at;
+  sim::Time duration;
+};
+
+struct RegFailSpec {
+  int node = kAnyNode;
+  double prob = 0.0;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  FaultPlan& set_seed(std::uint64_t seed) {
+    seed_ = seed;
+    return *this;
+  }
+
+  /// Packet-loss probability on link src->dst (kAnyNode wildcards).
+  FaultPlan& drop(int src, int dst, double prob);
+  /// CRC-corruption probability on link src->dst; corrupt packets consume
+  /// wire and receiver bandwidth before being discarded.
+  FaultPlan& corrupt(int src, int dst, double prob);
+  /// Hard outage window on link src->dst.
+  FaultPlan& flap(int src, int dst, sim::Time from, sim::Time to);
+  /// NIC DMA stall: node's tx+rx pipes busy for [at, at+duration).
+  FaultPlan& nic_stall(int node, sim::Time at, sim::Time duration);
+  /// Memory-registration failure probability on a node's regcache.
+  FaultPlan& reg_fail(int node, double prob);
+
+  bool empty() const {
+    return links_.empty() && flaps_.empty() && stalls_.empty() &&
+           reg_fails_.empty();
+  }
+  std::uint64_t seed() const { return seed_; }
+
+  const std::vector<LinkFaultSpec>& links() const { return links_; }
+  const std::vector<FlapSpec>& flaps() const { return flaps_; }
+  const std::vector<NicStallSpec>& stalls() const { return stalls_; }
+  const std::vector<RegFailSpec>& reg_fails() const { return reg_fails_; }
+
+  /// Parse a --faults= spec. Grammar (clauses separated by ';' or ','):
+  ///   seed:N
+  ///   drop:SRC-DST:PROB        drop:*:PROB
+  ///   corrupt:SRC-DST:PROB     corrupt:*:PROB
+  ///   flap:SRC-DST:FROM_US:TO_US
+  ///   stall:NODE:AT_US:DUR_US
+  ///   regfail:NODE:PROB        regfail:*:PROB
+  /// Example: "seed:42;drop:*:0.01;flap:0-1:100:250;stall:2:50:20".
+  /// Throws std::invalid_argument with a message naming the bad clause.
+  static FaultPlan parse(const std::string& spec);
+
+ private:
+  std::uint64_t seed_ = 1;
+  std::vector<LinkFaultSpec> links_;
+  std::vector<FlapSpec> flaps_;
+  std::vector<NicStallSpec> stalls_;
+  std::vector<RegFailSpec> reg_fails_;
+};
+
+/// Per-simulation instantiation of a FaultPlan over `nodes` nodes: dense
+/// per-link fault table plus one independent RNG stream per link/node.
+class Injector {
+ public:
+  Injector(const FaultPlan& plan, std::size_t nodes);
+
+  /// True if any fault (drop, corrupt or flap) is configured on the link,
+  /// at any time. Pure — used by the fabric to veto the express path for
+  /// the flow up front, keeping the decision time-independent.
+  bool link_armed(int src, int dst) const {
+    if (src == dst) return false;  // loopback bypasses the wire
+    const Link& l = link(src, dst);
+    return l.drop > 0.0 || l.corrupt > 0.0 || l.flap_from < l.flap_to;
+  }
+
+  /// Draw the fate of one packet crossing src->dst at time `now`. Flap
+  /// windows are checked first (no randomness consumed); probabilistic
+  /// drop/corrupt share a single uniform draw per packet.
+  Verdict packet_verdict(int src, int dst, sim::Time now) {
+    Link& l = link(src, dst);
+    if (l.flap_from < l.flap_to && now >= l.flap_from && now < l.flap_to) {
+      return Verdict::kDrop;
+    }
+    if (l.drop <= 0.0 && l.corrupt <= 0.0) return Verdict::kDeliver;
+    const double u = l.rng.uniform();
+    if (u < l.drop) return Verdict::kDrop;
+    if (u < l.drop + l.corrupt) return Verdict::kCorrupt;
+    return Verdict::kDeliver;
+  }
+
+  bool reg_armed(int node) const { return reg_[idx(node)].prob > 0.0; }
+  bool reg_should_fail(int node) {
+    Reg& r = reg_[idx(node)];
+    return r.prob > 0.0 && r.rng.uniform() < r.prob;
+  }
+
+  const std::vector<NicStallSpec>& nic_stalls() const { return stalls_; }
+  std::size_t nodes() const { return nodes_; }
+
+ private:
+  struct Link {
+    double drop = 0.0;
+    double corrupt = 0.0;
+    sim::Time flap_from;
+    sim::Time flap_to;
+    util::Rng rng{0};  // reseeded per link in the constructor
+  };
+  struct Reg {
+    double prob = 0.0;
+    util::Rng rng{0};
+  };
+
+  std::size_t idx(int node) const { return static_cast<std::size_t>(node); }
+  Link& link(int src, int dst) { return links_[idx(src) * nodes_ + idx(dst)]; }
+  const Link& link(int src, int dst) const {
+    return links_[idx(src) * nodes_ + idx(dst)];
+  }
+
+  std::size_t nodes_;
+  std::vector<Link> links_;
+  std::vector<Reg> reg_;
+  std::vector<NicStallSpec> stalls_;
+};
+
+}  // namespace mns::fault

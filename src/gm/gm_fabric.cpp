@@ -44,17 +44,41 @@ GmConfig default_gm_config(std::size_t nodes) {
       .sram_rate = 356e6,            // ~340 MB (2^20) /s aggregate staging
       .sram_free_bytes = 256 << 10,  // beyond this, staging contends
       .memory_bytes = 11ULL << 20,
+      .recovery =
+          {
+              // LANai firmware Go-Back-N: a generous resend budget (the
+              // firmware keeps trying far longer than an RC QP), fixed
+              // timeout tuned to the 2 Gbps wire.
+              .protocol = model::RecoveryConfig::Protocol::kGoBackN,
+              .rto = Time::us(50),
+              .backoff_cap = Time::zero(),
+              .retry_budget = 15,
+          },
   };
 }
 
 GmFabric::GmFabric(sim::Engine& eng, std::vector<model::NodeHw*> nodes,
                    const GmConfig& cfg)
     : NetFabric(eng, std::move(nodes), cfg.switch_cfg, cfg.nic), cfg_(cfg) {
+  set_recovery(cfg_.recovery);
   regcache_.reserve(node_count());
   sram_.reserve(node_count());
   for (std::size_t i = 0; i < node_count(); ++i) {
     regcache_.emplace_back(cfg_.regcache);
     sram_.push_back(std::make_unique<model::Pipe>(eng, cfg_.sram_rate));
+  }
+}
+
+void GmFabric::set_fault_plan(const fault::FaultPlan& plan) {
+  NetFabric::set_fault_plan(plan);
+  fault::Injector* inj = injector();
+  if (inj == nullptr) return;
+  regfail_ctx_.reserve(node_count());  // pointer stability for the hooks
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    if (!inj->reg_armed(static_cast<int>(n))) continue;
+    regfail_ctx_.push_back({inj, static_cast<int>(n)});
+    regcache_[n].set_fail_hook(&model::RegFailCtx::hook,
+                               &regfail_ctx_.back());
   }
 }
 

@@ -31,6 +31,11 @@ struct GmConfig {
   std::uint64_t sram_free_bytes;     // per-message size above which staging
                                      // contends (buffers no longer fit)
   std::uint64_t memory_bytes;        // flat MPI footprint (Fig. 13)
+
+  /// LANai firmware reliability: Go-Back-N with cumulative acks — the
+  /// receiver discards everything after a sequence gap, the sender
+  /// resends the window (set in default_gm_config).
+  model::RecoveryConfig recovery;
 };
 
 /// Calibrated LANai-XP / Myrinet-2000 parameters.
@@ -56,6 +61,10 @@ class GmFabric final : public model::NetFabric {
   /// Base pipes plus the SRAM staging stages.
   void collect_pipes(std::vector<model::Pipe*>& out) override;
 
+  /// Installs the chaos plan, then wires registration-failure injection
+  /// into every armed node's pin-down cache.
+  void set_fault_plan(const fault::FaultPlan& plan) override;
+
  protected:
   model::Pipe* staging_pipe(int node_id, const model::NetMsg& msg) override;
 
@@ -63,6 +72,7 @@ class GmFabric final : public model::NetFabric {
   GmConfig cfg_;
   std::vector<model::RegistrationCache> regcache_;
   std::vector<std::unique_ptr<model::Pipe>> sram_;
+  std::vector<model::RegFailCtx> regfail_ctx_;  // stable hook contexts
 };
 
 }  // namespace mns::gm

@@ -40,17 +40,40 @@ IbConfig default_ib_config(std::size_t nodes) {
           },
       .base_memory_bytes = 20ULL << 20,
       .per_qp_memory_bytes = 5ULL << 20,
+      .recovery =
+          {
+              // RC QP: transport timeout ~4x the fabric RTT, retry counter
+              // 7 (the VAPI maximum) before the QP enters error state.
+              .protocol = model::RecoveryConfig::Protocol::kIbRc,
+              .rto = Time::us(40),
+              .backoff_cap = Time::zero(),
+              .retry_budget = 7,
+          },
   };
 }
 
 IbFabric::IbFabric(sim::Engine& eng, std::vector<model::NodeHw*> nodes,
                    const IbConfig& cfg)
     : NetFabric(eng, std::move(nodes), cfg.switch_cfg, cfg.nic), cfg_(cfg) {
+  set_recovery(cfg_.recovery);
   regcache_.reserve(node_count());
   for (std::size_t i = 0; i < node_count(); ++i) {
     regcache_.emplace_back(cfg_.regcache);
   }
   connected_.resize(node_count());
+}
+
+void IbFabric::set_fault_plan(const fault::FaultPlan& plan) {
+  NetFabric::set_fault_plan(plan);
+  fault::Injector* inj = injector();
+  if (inj == nullptr) return;
+  regfail_ctx_.reserve(node_count());  // pointer stability for the hooks
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    if (!inj->reg_armed(static_cast<int>(n))) continue;
+    regfail_ctx_.push_back({inj, static_cast<int>(n)});
+    regcache_[n].set_fail_hook(&model::RegFailCtx::hook,
+                               &regfail_ctx_.back());
+  }
 }
 
 std::uint64_t IbFabric::memory_bytes(int node) const {

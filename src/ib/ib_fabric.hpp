@@ -38,6 +38,11 @@ struct IbConfig {
   /// price of a connection-setup stall on the first message.
   bool on_demand_connections = false;
   sim::Time connection_setup = sim::Time::us(130);
+
+  /// RC transport reliability: per-QP ack/timeout with a fixed RTO and a
+  /// bounded retry count; exhausting it puts the QP in error state and the
+  /// completion surfaces to the MPI layer (set in default_ib_config).
+  model::RecoveryConfig recovery;
 };
 
 /// Calibrated Mellanox InfiniHost MT23108 + InfiniScale parameters.
@@ -68,6 +73,10 @@ class IbFabric final : public model::NetFabric {
   /// per-node pin-down cache conservation laws.
   void register_audits(audit::AuditReport& report) override;
 
+  /// Installs the chaos plan, then wires registration-failure injection
+  /// into every armed node's pin-down cache.
+  void set_fault_plan(const fault::FaultPlan& plan) override;
+
  protected:
   sim::Time tx_setup(const model::NetMsg& msg) override;
 
@@ -76,6 +85,9 @@ class IbFabric final : public model::NetFabric {
   std::vector<model::RegistrationCache> regcache_;
   // Per node: the set of peers an RC connection exists to (on-demand).
   std::vector<std::set<int>> connected_;
+  // Stable contexts for the C-style regcache fail hooks (one per node,
+  // fully reserved before any pointer is handed out).
+  std::vector<model::RegFailCtx> regfail_ctx_;
 };
 
 }  // namespace mns::ib

@@ -1,7 +1,10 @@
 #include "model/netfabric.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <coroutine>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "audit/report.hpp"
@@ -40,6 +43,18 @@ struct NetFabric::MsgFlow final : Pipe::ClaimOwner {
   std::uint64_t packets_left_tx = 0;
   std::uint64_t packets_left = 0;
   bool first_packet = true;
+
+  // Recovery-machine state (all dormant unless `faulted`). The chunk plan
+  // caps messages at 64 packets, so one word of bits identifies the lost /
+  // corrupt-marked packets of the current attempt exactly.
+  bool faulted = false;       // fault plan arms this flow's link
+  bool fetching = false;      // sender_loop's closed fetch loop still running
+  bool rto_armed = false;     // retransmit timer pending
+  std::uint64_t lost = 0;     // packets lost this attempt (bit per packet)
+  std::uint64_t corrupt_mask = 0;  // marked at tx, detected+lost at rx
+  std::uint32_t pending = 0;  // packet-machine events currently scheduled
+  int attempts = 0;           // resend rounds consumed
+  sim::EventId rto_id{};      // cancellable retransmit timer
 
   // Path, resolved once at launch (hooks are pure per message).
   Pipe* src_bus = nullptr;
@@ -92,7 +107,8 @@ struct NetFabric::MsgFlow final : Pipe::ClaimOwner {
     kExFetch,   // express: last fetch done -> wake sender
     kExLocal,   // express: last byte left sender NIC -> eager completion
     kExDeliver, // express: last byte in remote memory
-    kExArm      // express: packet-0 fetch instant (demotion re-entry point)
+    kExArm,     // express: packet-0 fetch instant (demotion re-entry point)
+    kRto        // recovery: retransmission timeout fired
   };
 
   static void* word(std::uint8_t kind, std::uint64_t p) {
@@ -163,6 +179,7 @@ sim::Time NetFabric::rx_stall(const NetMsg&) { return sim::Time::zero(); }
 Pipe* NetFabric::staging_pipe(int, const NetMsg&) { return nullptr; }
 void NetFabric::on_posted(const NetMsg&) {}
 void NetFabric::on_delivered(const NetMsg&) {}
+void NetFabric::on_aborted(const NetMsg&) {}
 bool NetFabric::express_rx_ok(const NetMsg&) const { return true; }
 
 NetFabric::ChunkPlan NetFabric::chunk_plan(std::uint64_t bytes,
@@ -185,6 +202,8 @@ NetFabric::MsgFlow* NetFabric::acquire_flow() {
 
 void NetFabric::release_flow(MsgFlow& f) {
   MNS_AUDIT(flows_active_ > 0, "flow released with none active");
+  MNS_AUDIT(f.pending == 0 && !f.rto_armed,
+            "flow released with packet events or a retransmit timer live");
   --flows_active_;
   f.msg = NetMsg{};  // drop per-message closures eagerly
   f.claims.clear();
@@ -216,9 +235,16 @@ void NetFabric::init_flow(MsgFlow& f, NetMsg msg) {
   f.replay_deferred = false;
   f.stale_events = 0;
   f.sender = {};
+  f.fetching = false;
+  f.rto_armed = false;
+  f.lost = 0;
+  f.corrupt_mask = 0;
+  f.pending = 0;
+  f.attempts = 0;
 
   const int src = f.msg.src;
   const int dst = f.msg.dst;
+  f.faulted = injector_ != nullptr && injector_->link_armed(src, dst);
   f.src_bus = &nodes_[static_cast<std::size_t>(src)]->bus().pipe();
   f.tx = tx_[static_cast<std::size_t>(src)].get();
   f.stage_src = staging_pipe(src, f.msg);
@@ -250,6 +276,11 @@ void NetFabric::init_flow(MsgFlow& f, NetMsg msg) {
 
 bool NetFabric::can_express(const MsgFlow& f) const {
   if (!express_enabled_) return false;
+  // A faulted packet must run the packet machine (per-packet verdicts and
+  // retransmissions have no closed form), so flows on an armed link are
+  // vetoed up front — link_armed is pure, keeping the decision
+  // time-independent and deterministic.
+  if (f.faulted) return false;
   // Loopback skips the switch and may hit the same pipes twice in one
   // chain; not worth proving exclusivity for.
   if (f.msg.src == f.msg.dst) return false;
@@ -290,14 +321,17 @@ sim::Task<void> NetFabric::sender_loop(int node_id) {
       // before the next, so concurrent senders on this node interleave at
       // packet granularity and per-pair ordering is preserved.
       MsgFlow& f = *flow;
+      f.fetching = true;  // retransmit timers wait for the fetch chain
       for (std::uint64_t p = 0; p < f.packets; ++p) {
         co_await bus.dma(f.pkt_bytes(p));
         // Launch through the event queue at now, exactly where the old
         // per-packet coroutine spawn started.
+        ++f.pending;
         eng_->at(eng_->now(), sim::EventFn(&MsgFlow::thunk, &f,
                                            MsgFlow::word(MsgFlow::kLaunch,
                                                          p)));
       }
+      f.fetching = false;
     }
     // `flow` may already be recycled past this point; never touch it here.
   }
@@ -308,7 +342,15 @@ void NetFabric::flow_step(MsgFlow& f, std::uintptr_t w) {
   const std::uint64_t p = w >> 8;
   const std::uint64_t pkt = f.pkt_bytes(p);
 
+  if (kind <= MsgFlow::kBus) {
+    // Packet-machine event landed; the retransmit timer counts these to
+    // know when a resend round has fully drained.
+    MNS_AUDIT(f.pending > 0, "packet event fired with zero pending");
+    --f.pending;
+  }
+
   auto sched = [&](std::uint8_t k, std::uint64_t pp, sim::Time t) {
+    if (k <= MsgFlow::kBus) ++f.pending;
     eng_->at(t, sim::EventFn(&MsgFlow::thunk, &f, MsgFlow::word(k, pp)));
   };
 
@@ -366,10 +408,29 @@ void NetFabric::flow_step(MsgFlow& f, std::uintptr_t w) {
     case MsgFlow::kTx:
       if (--f.packets_left_tx == 0) {
         // Last byte has left the sender NIC: eager sends complete here.
+        // (Fabric-level retransmissions below are invisible to the host,
+        // like a real NIC's reliability engine.)
         if (!f.msg.complete_on_delivery && f.msg.local_complete &&
             !f.local_fired) {
           f.local_fired = true;
           f.msg.local_complete();
+        }
+      }
+      if (f.faulted) {
+        // The packet has consumed injection bandwidth; now the fault plan
+        // decides its fate on the wire.
+        const fault::Verdict v =
+            injector_->packet_verdict(f.msg.src, f.msg.dst, eng_->now());
+        if (v == fault::Verdict::kDrop) {
+          ++faults_drop_;
+          lose_packet(f, p);
+          break;  // vanishes at the sender NIC: nothing enters the switch
+        }
+        if (v == fault::Verdict::kCorrupt) {
+          // Corrupt packets travel the full path (burning switch and rx
+          // bandwidth) and fail their CRC at the receiver (kRx below).
+          ++faults_corrupt_;
+          f.corrupt_mask |= std::uint64_t{1} << p;
         }
       }
       if (f.stage_src != nullptr) {
@@ -400,10 +461,46 @@ void NetFabric::flow_step(MsgFlow& f, std::uintptr_t w) {
       sched(MsgFlow::kRx, p, f.rx->reserve(pkt));
       break;
     case MsgFlow::kRx:
+      if (f.faulted) {
+        if (f.corrupt_mask & (std::uint64_t{1} << p)) {
+          // CRC failure detected at the receiver NIC: discard.
+          f.corrupt_mask &= ~(std::uint64_t{1} << p);
+          lose_packet(f, p);
+          break;
+        }
+        if (recovery_.protocol == RecoveryConfig::Protocol::kGoBackN &&
+            p > 0 && (f.lost & ((std::uint64_t{1} << p) - 1)) != 0) {
+          // Go-Back-N: an earlier packet of this message is missing, so
+          // the firmware's sequence check rejects this one — only the
+          // cumulative prefix is ever acknowledged. The sender will
+          // resend the whole window from the gap.
+          ++gbn_discards_;
+          lose_packet(f, p);
+          break;
+        }
+      }
       sched(MsgFlow::kBus, p, f.dst_bus->reserve(pkt));
       break;
     case MsgFlow::kBus:
       if (--f.packets_left == 0) deliver(f);
+      break;
+
+    case MsgFlow::kRto:
+      f.rto_armed = false;
+      if (f.pending > 0 || f.fetching) {
+        // Packets of the current round are still moving (or still being
+        // fetched); check again after another timeout.
+        arm_rto(f);
+        break;
+      }
+      MNS_AUDIT(f.lost != 0, "retransmit timer fired with nothing lost");
+      ++f.attempts;
+      if (f.attempts > recovery_.retry_budget) {
+        fail_flow(f);
+        break;
+      }
+      resend_lost(f);
+      arm_rto(f);
       break;
 
     case MsgFlow::kExFetch:
@@ -459,6 +556,14 @@ void NetFabric::flow_step(MsgFlow& f, std::uintptr_t w) {
 }
 
 void NetFabric::deliver(MsgFlow& f) {
+  if (f.rto_armed) {
+    // The happy-path cancel: the whole message made it, retire the
+    // retransmit timer (frees its boxed-closure-free payload in place).
+    eng_->cancel(f.rto_id);
+    f.rto_armed = false;
+  }
+  MNS_AUDIT(f.lost == 0 && f.corrupt_mask == 0,
+            "message delivered with packets still marked lost");
   ++delivered_;
   if (nic_.ack_processing > sim::Time::zero() && f.msg.src != f.msg.dst) {
     // Delivery ack returns to the source NIC and occupies its protocol
@@ -475,6 +580,103 @@ void NetFabric::deliver(MsgFlow& f) {
   if (f.msg.remote_arrival) f.msg.remote_arrival();
   f.delivered_done = true;
   maybe_release(f);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery machine. A lost packet (drop verdict, CRC failure, or Go-Back-N
+// sequence rejection) sets its bit in f.lost and arms a per-flow
+// retransmit timer at the source NIC. When the timer fires with no packet
+// of the flow still in flight, the lost set is resent (one more attempt);
+// when the retry budget is exhausted the flow surfaces an error to the
+// device instead and is retired. Conservation (audited):
+//   faults_drop_ + faults_corrupt_ + gbn_discards_
+//     == packets_retransmitted_ + packets_abandoned_
+// ---------------------------------------------------------------------------
+
+void NetFabric::lose_packet(MsgFlow& f, std::uint64_t p) {
+  f.lost |= std::uint64_t{1} << p;
+  arm_rto(f);
+}
+
+void NetFabric::arm_rto(MsgFlow& f) {
+  if (f.rto_armed) return;
+  f.rto_id = eng_->at_cancellable(
+      eng_->now() + rto_delay(f),
+      sim::EventFn(&MsgFlow::thunk, &f, MsgFlow::word(MsgFlow::kRto, 0)));
+  f.rto_armed = true;
+}
+
+sim::Time NetFabric::rto_delay(const MsgFlow& f) const {
+  sim::Time d = recovery_.rto;
+  if (recovery_.backoff_cap > sim::Time::zero()) {
+    // Bounded exponential backoff (Elan hardware retry): rto, 2*rto, ...
+    // capped. The other protocols keep a fixed timeout.
+    for (int i = 0; i < f.attempts && d < recovery_.backoff_cap; ++i) {
+      d = d * 2;
+    }
+    if (d > recovery_.backoff_cap) d = recovery_.backoff_cap;
+  }
+  return d;
+}
+
+void NetFabric::resend_lost(MsgFlow& f) {
+  MNS_AUDIT(f.lost != 0, "resend round with an empty lost set");
+  std::uint64_t m = f.lost;
+  f.lost = 0;
+  // IB RC / Elan resend exactly the lost packets; GM's Go-Back-N window —
+  // everything from the first gap onward — is already what the lost set
+  // holds, because the receiver rejected the whole post-gap tail.
+  while (m != 0) {
+    const auto p = static_cast<std::uint64_t>(std::countr_zero(m));
+    m &= m - 1;
+    ++packets_retransmitted_;
+    // The retransmitted copy re-crosses the tx stage, so the tx-drain
+    // counter must see it (it was already decremented on the lost pass).
+    ++f.packets_left_tx;
+    ++f.pending;
+    eng_->at(eng_->now(), sim::EventFn(&MsgFlow::thunk, &f,
+                                       MsgFlow::word(MsgFlow::kLaunch, p)));
+  }
+}
+
+void NetFabric::fail_flow(MsgFlow& f) {
+  // Retry budget exhausted: surface the transport error (IB QP error / GM
+  // give-up / Elan retry exhaustion) to the device and retire the flow.
+  const auto abandoned = static_cast<std::uint64_t>(std::popcount(f.lost));
+  MNS_AUDIT(abandoned == f.packets_left,
+            "abandoned flow with undelivered packets not in the lost set");
+  packets_abandoned_ += abandoned;
+  f.lost = 0;
+  ++errored_;
+  on_aborted(f.msg);
+  if (f.msg.on_failed) f.msg.on_failed();
+  f.delivered_done = true;  // reuse the release machinery
+  maybe_release(f);
+}
+
+void NetFabric::set_fault_plan(const fault::FaultPlan& plan) {
+  if (plan.empty()) return;  // keeps the data path bit-identical
+  injector_ = std::make_unique<fault::Injector>(plan, nodes_.size());
+  for (const fault::NicStallSpec& st : injector_->nic_stalls()) {
+    if (st.node < 0 || static_cast<std::size_t>(st.node) >= nodes_.size()) {
+      throw std::invalid_argument(
+          "FaultPlan: NIC stall on node " + std::to_string(st.node) +
+          " but the fabric has " + std::to_string(nodes_.size()) + " nodes");
+    }
+    Pipe* tx = tx_[static_cast<std::size_t>(st.node)].get();
+    Pipe* rx = rx_[static_cast<std::size_t>(st.node)].get();
+    const sim::Time dur = st.duration;
+    // The stall is pure occupancy on both DMA engines. reserve_after
+    // breaks claims, so an express flow holding the pipe demotes — a
+    // faulted window always runs at packet granularity.
+    eng_->at(st.at, [tx, rx, dur] {
+      tx->reserve_after(dur, 0);
+      rx->reserve_after(dur, 0);
+    });
+    // Keep the engine running past the stall window so the finalize
+    // "pipes idle" audit sees the occupancy expire.
+    eng_->at(st.at + dur, [] {});
+  }
 }
 
 bool NetFabric::express_launch(MsgFlow& f) {
@@ -554,6 +756,10 @@ bool NetFabric::replay_flow(MsgFlow& f, bool mat) {
     return pipe->reserve_after_at(arrive, lead, bytes);
   };
   auto sched = [&](std::uint8_t kind, std::uint64_t p, sim::Time t) {
+    // Materialized events re-enter the packet machine, whose entry
+    // decrements the pending count (express flows are never faulted, but
+    // the drain counter must stay balanced for the flow-release audit).
+    if (kind <= MsgFlow::kBus) ++f.pending;
     eng_->at(t, sim::EventFn(&MsgFlow::thunk, &f, MsgFlow::word(kind, p)));
   };
 
@@ -785,8 +991,13 @@ void NetFabric::collect_pipes(std::vector<Pipe*>& out) {
 
 void NetFabric::register_audits(audit::AuditReport& report) {
   report.add_check("model::NetFabric", [this](audit::AuditReport::Scope& s) {
-    s.require_eq(posted_, delivered_,
-                 "message(s) posted but never delivered");
+    s.require_eq(posted_, delivered_ + errored_,
+                 "message(s) posted but neither delivered nor surfaced as "
+                 "a transport error");
+    s.require_eq(faults_drop_ + faults_corrupt_ + gbn_discards_,
+                 packets_retransmitted_ + packets_abandoned_,
+                 "packet-loss conservation broken: every lost packet must "
+                 "be retransmitted or abandoned with its flow");
     s.require_eq(bcasts_posted_, bcasts_delivered_,
                  "switch broadcast(s) posted but never completed");
     s.require_eq(flows_active_, std::size_t{0},

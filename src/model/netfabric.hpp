@@ -32,6 +32,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "model/node_hw.hpp"
 #include "model/pipe.hpp"
 #include "model/switch.hpp"
@@ -61,6 +62,47 @@ struct NetMsg {
   bool complete_on_delivery = false;
   std::function<void()> local_complete;  // simlint-allow: model-alloc
   std::function<void()> remote_arrival;  // simlint-allow: model-alloc
+  /// Fired (instead of the callbacks above that have not yet fired) when
+  /// the fabric's recovery protocol exhausts its retry budget for this
+  /// message — the QP-error / give-up surface the MPI device turns into an
+  /// error Status. Null means the device cannot handle transport errors;
+  /// the message is then silently dropped on exhaustion (audited as
+  /// errored either way).
+  std::function<void()> on_failed;  // simlint-allow: model-alloc
+};
+
+/// Per-fabric recovery protocol parameters (see DESIGN.md "fault &
+/// recovery model"). All three interconnects recover transparently below
+/// the MPI layer; they differ in who retransmits, what is retransmitted,
+/// and how the timeout grows:
+///   kIbRc    — IB RC per-QP timeout/retry: selective retransmit of the
+///              lost packets, fixed RTO, retry_budget mirrors the QP's
+///              retry counter; exhaustion raises a QP error.
+///   kGoBackN — GM firmware Go-Back-N: the receiver discards every packet
+///              after a sequence gap (cumulative-ack semantics), the
+///              sender resends the whole window from the gap.
+///   kHwRetry — Elan hardware DMA retry: selective retransmit with
+///              bounded exponential backoff (rto, 2*rto, ... capped).
+struct RecoveryConfig {
+  enum class Protocol : std::uint8_t { kIbRc, kGoBackN, kHwRetry };
+  Protocol protocol = Protocol::kIbRc;
+  sim::Time rto = sim::Time::us(40);
+  sim::Time backoff_cap = sim::Time::zero();  // >0 enables backoff growth
+  int retry_budget = 7;  // resend rounds before surfacing an error
+};
+
+/// Context for wiring a fault::Injector's per-node registration-failure
+/// stream into a RegistrationCache fail hook (plain function pointer +
+/// ctx — see RegistrationCache::set_fail_hook). The owning fabric keeps
+/// one per armed node in a fully-reserved vector so the pointers stay
+/// stable.
+struct RegFailCtx {
+  fault::Injector* injector = nullptr;
+  int node = 0;
+  static bool hook(void* ctx) {
+    auto* c = static_cast<RegFailCtx*>(ctx);
+    return c->injector->reg_should_fail(c->node);
+  }
 };
 
 struct NicConfig {
@@ -103,6 +145,25 @@ class NetFabric {
 
   std::uint64_t messages_posted() const { return posted_; }
   std::uint64_t messages_delivered() const { return delivered_; }
+  /// Messages whose recovery budget was exhausted (surfaced via
+  /// NetMsg::on_failed). posted == delivered + errored at finalize.
+  std::uint64_t messages_errored() const { return errored_; }
+
+  /// Install a fault plan (chaos harness). Must be called before the
+  /// simulation runs; an empty plan is a no-op, keeping the data path
+  /// bit-identical to a fabric without any plan installed. Subclasses
+  /// extend this to arm their own components (regcache failure hooks).
+  virtual void set_fault_plan(const fault::FaultPlan& plan);
+  bool fault_active() const { return injector_ != nullptr; }
+  const RecoveryConfig& recovery_config() const { return recovery_; }
+
+  // Fault/recovery conservation counters. Law (audited at finalize):
+  //   dropped + corrupted + gbn_discarded == retransmitted + abandoned.
+  std::uint64_t packets_dropped() const { return faults_drop_; }
+  std::uint64_t packets_corrupted() const { return faults_corrupt_; }
+  std::uint64_t packets_gbn_discarded() const { return gbn_discards_; }
+  std::uint64_t packets_retransmitted() const { return packets_retransmitted_; }
+  std::uint64_t packets_abandoned() const { return packets_abandoned_; }
 
   /// Enable/disable the uncontended express path (default on). Timing is
   /// bit-identical either way — the toggle exists for the equivalence
@@ -153,6 +214,15 @@ class NetFabric {
   /// Book-keeping hooks (outstanding-message tracking).
   virtual void on_posted(const NetMsg& msg);
   virtual void on_delivered(const NetMsg& msg);
+  /// Recovery gave up on the message (counterpart of on_delivered for the
+  /// error path): subclasses release whatever on_posted acquired.
+  virtual void on_aborted(const NetMsg& msg);
+  /// Recovery protocol parameters; subclasses set these in their
+  /// constructor from their config.
+  void set_recovery(const RecoveryConfig& rc) { recovery_ = rc; }
+  /// Installed injector (null without a fault plan); subclasses use it to
+  /// wire fabric-specific fault surfaces (registration failures).
+  fault::Injector* injector() { return injector_.get(); }
   /// Express-path veto: return true only when rx_stall(msg) is a pure
   /// function (no hidden NIC state mutation), so the express path may
   /// evaluate it at launch instead of at first-packet delivery. Quadrics
@@ -207,6 +277,13 @@ class NetFabric {
   void flow_step(MsgFlow& f, std::uintptr_t word);
   void deliver(MsgFlow& f);
 
+  // Recovery machine (all no-ops unless a fault plan is installed).
+  void lose_packet(MsgFlow& f, std::uint64_t p);
+  void arm_rto(MsgFlow& f);
+  void resend_lost(MsgFlow& f);
+  void fail_flow(MsgFlow& f);
+  sim::Time rto_delay(const MsgFlow& f) const;
+
   sim::Engine* eng_;
   std::vector<NodeHw*> nodes_;
   std::unique_ptr<SwitchTopology> topo_;
@@ -228,6 +305,15 @@ class NetFabric {
   std::uint64_t delivered_ = 0;
   std::uint64_t bcasts_posted_ = 0;
   std::uint64_t bcasts_delivered_ = 0;
+  // Fault injection + recovery (null injector = lossless fabric).
+  std::unique_ptr<fault::Injector> injector_;
+  RecoveryConfig recovery_;
+  std::uint64_t errored_ = 0;
+  std::uint64_t faults_drop_ = 0;
+  std::uint64_t faults_corrupt_ = 0;
+  std::uint64_t gbn_discards_ = 0;
+  std::uint64_t packets_retransmitted_ = 0;
+  std::uint64_t packets_abandoned_ = 0;
 };
 
 }  // namespace mns::model

@@ -81,8 +81,8 @@ void RegistrationCache::register_audits(audit::AuditReport& report,
                   "region's lru_pos does not point at its LRU entry");
       }
     }
-    s.require_eq(hits_ + misses_, acquires_,
-                 "hits + misses != acquires");
+    s.require_eq(hits_ + misses_ + failures_, acquires_,
+                 "hits + misses + injected failures != acquires");
     s.require_eq(misses_,
                  regions_.size() + evictions_ + reregisters_ +
                      cleared_regions_,

@@ -39,11 +39,39 @@ class RegistrationCache {
 
   /// Ensure [addr, addr+bytes) is registered. Returns the host CPU time
   /// this costs (zero on a cache hit). The caller charges it to its Cpu.
+  /// Never fails — the fault hook is consulted only by try_acquire().
   sim::Time acquire(std::uint64_t addr, std::uint64_t bytes);
+
+  /// Fallible acquire: consults the fault hook first. On an injected
+  /// failure the registration syscall is charged (register_base) but the
+  /// cache is left untouched and ok == false; the caller chooses its
+  /// degradation path (eager fallback or retry via acquire()).
+  struct Acquired {
+    sim::Time cost;
+    bool ok;
+  };
+  Acquired try_acquire(std::uint64_t addr, std::uint64_t bytes) {
+    if (fail_hook_ != nullptr && fail_hook_(fail_ctx_)) {
+      ++acquires_;
+      ++failures_;
+      return {cfg_.register_base, false};
+    }
+    return {acquire(addr, bytes), true};
+  }
+
+  /// Deterministic registration-failure injection (src/fault): `fn(ctx)`
+  /// returning true fails the next try_acquire. Raw function pointer, not
+  /// std::function — this sits on the rendezvous hot path.
+  using FailHook = bool (*)(void*);
+  void set_fail_hook(FailHook fn, void* ctx) {
+    fail_hook_ = fn;
+    fail_ctx_ = ctx;
+  }
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t acquires() const { return acquires_; }
+  std::uint64_t failures() const { return failures_; }
   std::uint64_t pinned_bytes() const { return pinned_bytes_; }
   std::uint64_t evictions() const { return evictions_; }
 
@@ -84,6 +112,9 @@ class RegistrationCache {
   std::uint64_t evictions_ = 0;
   std::uint64_t reregisters_ = 0;     // same-base re-registrations (extent grew)
   std::uint64_t cleared_regions_ = 0;  // regions dropped by clear()
+  std::uint64_t failures_ = 0;         // injected registration failures
+  FailHook fail_hook_ = nullptr;
+  void* fail_ctx_ = nullptr;
 };
 
 }  // namespace mns::model

@@ -8,6 +8,9 @@ namespace {
 Status status_of(const Envelope& env) {
   return Status{env.src, env.tag, env.bytes};
 }
+Status error_status(const Envelope& env) {
+  return Status{env.src, env.tag, env.bytes, kErrFabric};
+}
 }  // namespace
 
 ElanChannelConfig default_elan_channel_config() {
@@ -67,6 +70,14 @@ sim::Task<void> ElanChannel::start_send(SendOp op) {
   }
   m.remote_arrival = [this, env, payload_slot, src_view, sync_req] {
     on_arrival(env, payload_slot, src_view, sync_req);
+  };
+  m.on_failed = [this, req, env] {
+    // Elan hardware retry exhausted. Buffered sends already completed at
+    // NIC-clear; zero-copy and synchronous ones complete with the error
+    // here. The receiver learns of the failure through NIC matching (the
+    // error envelope), exactly where the data would have matched.
+    if (!req->done) req->complete(error_status(env));
+    on_failed_arrival(env);
   };
   fabric_->post(std::move(m));
 }
@@ -142,6 +153,22 @@ void ElanChannel::on_arrival(
                            env.bytes, pr.buf.bytes())));
          }
          pr.req->complete(status_of(env));
+       }});
+}
+
+void ElanChannel::on_failed_arrival(const Envelope& env) {
+  // NIC context (like on_arrival): the error envelope goes through the
+  // same Tport matching the data would have, so the receive completes
+  // with Status::error instead of hanging.
+  auto& rp = mpi_->proc(env.dst);
+  if (auto pr = rp.matcher().match_arrival(env)) {
+    pr->req->complete(error_status(env));
+    return;
+  }
+  rp.matcher().add_unexpected(
+      {env, [env](PostedRecv pr) -> sim::Task<void> {
+         pr.req->complete(error_status(env));
+         co_return;
        }});
 }
 

@@ -8,6 +8,9 @@ namespace {
 Status status_of(const Envelope& env) {
   return Status{env.src, env.tag, env.bytes};
 }
+Status error_status(const Envelope& env) {
+  return Status{env.src, env.tag, env.bytes, kErrFabric};
+}
 }  // namespace
 
 std::function<void(std::function<void()>)> RdvChannel::host_gate(
@@ -122,6 +125,44 @@ void RdvChannel::on_shm_arrival(
   });
 }
 
+// --- fabric-error degradation ----------------------------------------------
+//
+// When a fabric's recovery protocol exhausts its retry budget the message's
+// on_failed hook fires instead of the remaining completion callbacks. The
+// device's job is to make sure no request hangs: the sender side completes
+// with an error Status, and the receiver side learns about the failure
+// through its matcher — the "error envelope" matches exactly like the data
+// would have, so a posted (or future) receive completes with
+// Status::error == kErrFabric instead of waiting forever.
+
+void RdvChannel::fail_recv_side(const Envelope& env) {
+  auto& rp = mpi_->proc(env.dst);
+  host_gate(rp)([this, env, &rp] {
+    rp.cpu().accrue_overhead(cfg_.o_recv);
+    if (auto pr = rp.matcher().match_arrival(env)) {
+      pr->req->complete(error_status(env));
+    } else {
+      rp.matcher().add_unexpected(
+          {env, [env](PostedRecv pr) -> sim::Task<void> {
+             pr.req->complete(error_status(env));
+             co_return;
+           }});
+    }
+  });
+}
+
+void RdvChannel::fail_rendezvous(std::shared_ptr<RdvState> st) {
+  const Envelope env = st->send.env;
+  if (!st->send.req->done) st->send.req->complete(error_status(env));
+  if (st->recv_matched) {
+    // The receiver already matched (RTS made it); complete its request
+    // directly rather than re-running the matcher.
+    if (!st->recv.req->done) st->recv.req->complete(error_status(env));
+  } else {
+    fail_recv_side(env);
+  }
+}
+
 // --- eager path -------------------------------------------------------------
 
 sim::Task<void> RdvChannel::send_eager(SendOp op) {
@@ -142,6 +183,13 @@ sim::Task<void> RdvChannel::send_eager(SendOp op) {
   m.complete_on_delivery = false;
   m.local_complete = [req, env] { req->complete(status_of(env)); };
   m.remote_arrival = [this, env, payload] { on_eager_arrival(env, payload); };
+  m.on_failed = [this, req, env] {
+    // Eager sends complete when the data leaves the NIC, so the send
+    // request is normally already done here; only the receiver still
+    // waits on the lost payload.
+    if (!req->done) req->complete(error_status(env));
+    fail_recv_side(env);
+  };
   fabric_->post(std::move(m));
 }
 
@@ -201,9 +249,23 @@ sim::Task<void> RdvChannel::send_rendezvous(SendOp op) {
   auto& sp = mpi_->proc(op.env.src);
   const int snode = mpi_->node_of(op.env.src);
   if (cfg_.use_regcache) {
-    const sim::Time reg =
-        regcache_(snode).acquire(op.buf.addr(), op.env.bytes);
-    if (reg > sim::Time::zero()) co_await sp.cpu().busy(reg);
+    const auto reg = regcache_(snode).try_acquire(op.buf.addr(),
+                                                  op.env.bytes);
+    if (reg.cost > sim::Time::zero()) co_await sp.cpu().busy(reg.cost);
+    if (!reg.ok) {
+      if (!op.synchronous) {
+        // Pin-down failed: degrade to the copy-in eager path, which only
+        // needs the pre-registered staging buffers. Slower (extra copy),
+        // but the send makes progress.
+        co_await send_eager(std::move(op));
+        co_return;
+      }
+      // MPI_Ssend must keep the rendezvous handshake — model the driver
+      // retrying the (transient) registration failure.
+      const sim::Time retry =
+          regcache_(snode).acquire(op.buf.addr(), op.env.bytes);
+      if (retry > sim::Time::zero()) co_await sp.cpu().busy(retry);
+    }
   }
 
   auto st = std::make_shared<RdvState>();
@@ -214,6 +276,7 @@ sim::Task<void> RdvChannel::send_rendezvous(SendOp op) {
   rts.dst = mpi_->node_of(st->send.env.dst);
   rts.bytes = cfg_.ctrl_bytes;
   rts.remote_arrival = [this, st] { on_rts(st); };
+  rts.on_failed = [this, st] { fail_rendezvous(st); };
   fabric_->post(std::move(rts));
 }
 
@@ -234,8 +297,15 @@ void RdvChannel::on_rts(std::shared_ptr<RdvState> st) {
              const int dnode = mpi_->node_of(st->send.env.dst);
              sim::Time cost = cfg_.o_ctrl;
              if (cfg_.use_regcache) {
-               cost += regcache_(dnode).acquire(st->recv.buf.addr(),
-                                                st->send.env.bytes);
+               const auto reg = regcache_(dnode).try_acquire(
+                   st->recv.buf.addr(), st->send.env.bytes);
+               cost += reg.cost;
+               // The receive buffer must be pinned before the CTS can
+               // advertise it; retry a transient failure.
+               if (!reg.ok) {
+                 cost += regcache_(dnode).acquire(st->recv.buf.addr(),
+                                                  st->send.env.bytes);
+               }
              }
              co_await rp2.cpu().busy(cost);
              // CTS back to the sender.
@@ -244,6 +314,7 @@ void RdvChannel::on_rts(std::shared_ptr<RdvState> st) {
              cts.dst = mpi_->node_of(st->send.env.src);
              cts.bytes = cfg_.ctrl_bytes;
              cts.remote_arrival = [this, st] { on_cts(st); };
+             cts.on_failed = [this, st] { fail_rendezvous(st); };
              fabric_->post(std::move(cts));
            }});
     }
@@ -255,8 +326,15 @@ void RdvChannel::issue_cts(std::shared_ptr<RdvState> st) {
   const int dnode = mpi_->node_of(st->send.env.dst);
   sim::Time cost = cfg_.o_ctrl;
   if (cfg_.use_regcache) {
-    cost +=
-        regcache_(dnode).acquire(st->recv.buf.addr(), st->send.env.bytes);
+    const auto reg =
+        regcache_(dnode).try_acquire(st->recv.buf.addr(),
+                                     st->send.env.bytes);
+    cost += reg.cost;
+    // See on_rts: a failed receive-buffer pin is retried before the CTS.
+    if (!reg.ok) {
+      cost += regcache_(dnode).acquire(st->recv.buf.addr(),
+                                       st->send.env.bytes);
+    }
   }
   rp.cpu().accrue_overhead(cost);
   mpi_->engine().spawn(
@@ -268,6 +346,7 @@ void RdvChannel::issue_cts(std::shared_ptr<RdvState> st) {
         cts.dst = self.mpi_->node_of(st->send.env.src);
         cts.bytes = self.cfg_.ctrl_bytes;
         cts.remote_arrival = [&self, st] { self.on_cts(st); };
+        cts.on_failed = [&self, st] { self.fail_rendezvous(st); };
         self.fabric_->post(std::move(cts));
       }(*this, rp, cost, st, dnode),
       /*daemon=*/true);
@@ -321,6 +400,7 @@ void RdvChannel::post_rendezvous_data(std::shared_ptr<RdvState> st) {
           }(*this, rp, st, env),
           /*daemon=*/true);
     };
+    fin.on_failed = [this, st] { fail_rendezvous(st); };
     fabric_->post(std::move(fin));
   };
   data.remote_arrival = [st, env] {
@@ -329,6 +409,7 @@ void RdvChannel::post_rendezvous_data(std::shared_ptr<RdvState> st) {
     copy_payload(st->send.buf, st->recv.buf,
                  std::min<std::uint64_t>(env.bytes, st->recv.buf.bytes()));
   };
+  data.on_failed = [this, st] { fail_rendezvous(st); };
   fabric_->post(std::move(data));
 }
 

@@ -97,6 +97,15 @@ class RdvChannel final : public Device {
   void on_cts(std::shared_ptr<RdvState> st);
   void post_rendezvous_data(std::shared_ptr<RdvState> st);
 
+  // Graceful degradation under fabric faults (ISSUE: chaos harness).
+  /// Route a transport-failure "error envelope" through the receiver's
+  /// matcher so its (posted or future) receive completes with an error
+  /// Status instead of hanging.
+  void fail_recv_side(const Envelope& env);
+  /// A rendezvous leg (RTS/CTS/data/FIN) exhausted the fabric's retry
+  /// budget: complete both sides with an error Status.
+  void fail_rendezvous(std::shared_ptr<RdvState> st);
+
   /// Receiver matched (event context): deliver buffered payload after the
   /// receive-side cost and complete the request.
   void deliver_buffered(const Envelope& env,

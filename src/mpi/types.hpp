@@ -17,10 +17,18 @@ inline constexpr Tag kAnyTag = -1;
 /// and < kCollectiveTagBase.
 inline constexpr Tag kCollectiveTagBase = 1 << 24;
 
+/// MPI_SUCCESS / the one error class the simulator surfaces: the fabric
+/// exhausted its recovery protocol's retry budget for a message (IB RC QP
+/// error, GM Go-Back-N give-up, Elan retry exhaustion). Requests complete
+/// with this in Status::error instead of hanging the engine.
+inline constexpr int kErrNone = 0;
+inline constexpr int kErrFabric = 1;
+
 struct Status {
   Rank source = kAnySource;
   Tag tag = kAnyTag;
   std::uint64_t bytes = 0;
+  int error = kErrNone;
 };
 
 enum class Dtype : std::uint8_t { kByte, kInt32, kInt64, kDouble };

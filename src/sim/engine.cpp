@@ -67,6 +67,8 @@ void Engine::drop_processes() {
   heap_slots_.clear();
   slab_.clear();
   slab_free_.clear();
+  slab_seq_.clear();
+  tombstones_ = 0;
   nowq_.clear();
   nowq_head_ = 0;
   live_ = 0;
@@ -79,16 +81,18 @@ void Engine::schedule_future(std::int64_t at_ps, EventFn fn) {
   heap_push(Key::make(at_ps, next_seq_++), std::move(fn));
 }
 
-void Engine::heap_push(Key key, EventFn fn) {
+std::uint32_t Engine::heap_push(Key key, EventFn fn) {
   // Park the payload in the slab; only (key, slot) enter the sift.
   std::uint32_t slot;
   if (!slab_free_.empty()) {
     slot = slab_free_.back();
     slab_free_.pop_back();
     slab_[slot] = std::move(fn);
+    slab_seq_[slot] = key.seq();
   } else {
     slot = static_cast<std::uint32_t>(slab_.size());
     slab_.push_back(std::move(fn));
+    slab_seq_.push_back(key.seq());
   }
   std::size_t i = heap_keys_.size();
   heap_keys_.push_back(key);
@@ -103,6 +107,7 @@ void Engine::heap_push(Key key, EventFn fn) {
   }
   heap_keys_[i] = key;
   heap_slots_[i] = slot;
+  return slot;
 }
 
 EventFn Engine::heap_pop(Key& key) {
@@ -175,6 +180,7 @@ void Engine::spawn(Task<> t, bool daemon) {
 }
 
 bool Engine::step() {
+ again:
   const bool have_now = nowq_head_ < nowq_.size();
   if (!have_now && heap_keys_.empty()) return false;
   if (events_processed_ >= event_limit_) throw EventLimitError(event_limit_);
@@ -193,6 +199,13 @@ bool Engine::step() {
   if (take_heap) {
     Key key{};
     fn = heap_pop(key);
+    if (!fn) {
+      // Cancelled tombstone: discard without advancing the clock, counting
+      // an event, or consulting the event limit budget beyond this check.
+      MNS_AUDIT(tombstones_ > 0, "tombstone popped with zero outstanding");
+      --tombstones_;
+      goto again;
+    }
     at_ps = key.at_ps();
     seq = key.seq();
   } else {
@@ -275,6 +288,8 @@ void Engine::register_audits(audit::AuditReport& report) {
   report.add_check("sim::Engine", [this](audit::AuditReport::Scope& s) {
     s.require_eq(pending_events(), std::size_t{0},
                  "event queue not drained at finalize");
+    s.require_eq(tombstones_, std::size_t{0},
+                 "cancelled event tombstone(s) still parked at finalize");
     s.require_eq(live_, std::size_t{0},
                  "non-daemon process(es) still live at finalize");
     s.require(now_ >= Time::zero(), "clock below zero at finalize");

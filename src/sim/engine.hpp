@@ -172,6 +172,15 @@ class EventFn {
   void* b_ = nullptr;
 };
 
+/// Handle to a cancellable event (see Engine::at_cancellable). The pair
+/// (slot, seq) is ABA-safe: seq is globally unique, so a handle whose slot
+/// has been recycled for a later event simply fails to cancel.
+struct EventId {
+  std::uint32_t slot = UINT32_MAX;
+  std::uint64_t seq = 0;
+  bool valid() const noexcept { return slot != UINT32_MAX; }
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -208,6 +217,42 @@ class Engine {
              std::is_invocable_v<F&>)
   void at(Time when, F&& fn) {
     at(when, EventFn::make(std::forward<F>(fn)));
+  }
+
+  /// Schedule a payload that may later be revoked with cancel() — the
+  /// shape of a retransmit/timeout timer, which is armed pessimistically
+  /// and cancelled on the (common) success path. Cancellable events always
+  /// take the heap path, even at exactly now(), so the returned EventId
+  /// names a stable slab slot.
+  EventId at_cancellable(Time when, EventFn fn) {
+    const std::int64_t at_ps = when.count_ps();
+    if (at_ps < now_.count_ps()) {
+      throw std::logic_error("Engine::at_cancellable: scheduling into the past");
+    }
+    const std::uint64_t seq = next_seq_++;
+    const std::uint32_t slot = heap_push(Key::make(at_ps, seq), std::move(fn));
+    return EventId{slot, seq};
+  }
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_v<F&>)
+  EventId at_cancellable(Time when, F&& fn) {
+    return at_cancellable(when, EventFn::make(std::forward<F>(fn)));
+  }
+
+  /// Revoke an event scheduled with at_cancellable(). Returns true if the
+  /// event was still pending (it will never run); false if it already ran,
+  /// was already cancelled, or the id is stale. The payload is destroyed
+  /// immediately (a boxed closure is freed here, not at pop time); the
+  /// heap entry remains as a tombstone that step() discards without
+  /// advancing the clock or counting against the event limit.
+  bool cancel(EventId id) {
+    if (!id.valid() || id.slot >= slab_.size()) return false;
+    if (slab_seq_[id.slot] != id.seq || !slab_[id.slot]) return false;
+    slab_[id.slot] = EventFn{};
+    ++tombstones_;
+    ++events_cancelled_;
+    return true;
   }
 
   /// Coroutine-resume fast paths: no closure, no allocation.
@@ -258,8 +303,11 @@ class Engine {
 
   std::size_t live_processes() const { return live_; }
   std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t events_cancelled() const { return events_cancelled_; }
+  /// Pending *live* events: cancelled tombstones still parked in the heap
+  /// are excluded (they will be discarded, never run).
   std::size_t pending_events() const {
-    return heap_keys_.size() + (nowq_.size() - nowq_head_);
+    return heap_keys_.size() - tombstones_ + (nowq_.size() - nowq_head_);
   }
 
   /// Abort run()/run_until() with EventLimitError after this many events
@@ -316,7 +364,7 @@ class Engine {
   };
 
   void schedule_future(std::int64_t at_ps, EventFn fn);
-  void heap_push(Key key, EventFn fn);
+  std::uint32_t heap_push(Key key, EventFn fn);
   EventFn heap_pop(Key& key);
 
   bool step();  // pop and run one event; false if queue empty
@@ -335,6 +383,13 @@ class Engine {
   std::vector<std::uint32_t> heap_slots_;
   std::vector<EventFn> slab_;
   std::vector<std::uint32_t> slab_free_;
+  // Per-slot seq stamp of the event currently parked there; lets cancel()
+  // verify an EventId still names the same scheduling (ABA guard).
+  std::vector<std::uint64_t> slab_seq_;
+  // Cancelled events still occupying heap entries. step() skips them for
+  // free; pending_events() subtracts them.
+  std::size_t tombstones_ = 0;
+  std::uint64_t events_cancelled_ = 0;
   // FIFO of events at exactly now(): push_back / consume-from-head. The
   // queue fully drains before the clock can advance (its entries are
   // minimal), so head==size resets storage to empty and nothing lingers.

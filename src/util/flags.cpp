@@ -1,5 +1,7 @@
 #include "util/flags.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "util/bytes.hpp"
@@ -38,9 +40,30 @@ std::int64_t Flags::get_int(const std::string& key, std::int64_t def) const {
   const auto text = get(key, "");
   if (text.empty()) return def;
   try {
-    return std::stoll(text);
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(text, &used);
+    // Full-string parse: "8x" or "8 " must not silently read as 8.
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
   } catch (const std::exception&) {
     throw std::invalid_argument("flag --" + key + " expects an integer, got '" +
+                                text + "'");
+  }
+}
+
+std::uint64_t Flags::get_uint(const std::string& key,
+                              std::uint64_t def) const {
+  const auto text = get(key, "");
+  if (text.empty()) return def;
+  try {
+    if (text[0] == '-') throw std::invalid_argument(text);
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key +
+                                " expects a non-negative integer, got '" +
                                 text + "'");
   }
 }
@@ -49,7 +72,10 @@ double Flags::get_double(const std::string& key, double def) const {
   const auto text = get(key, "");
   if (text.empty()) return def;
   try {
-    return std::stod(text);
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
   } catch (const std::exception&) {
     throw std::invalid_argument("flag --" + key + " expects a number, got '" +
                                 text + "'");
@@ -76,6 +102,18 @@ void Flags::reject_unknown() const {
     if (!queried_.count(key)) {
       throw std::invalid_argument("unknown flag --" + key + "=" + value);
     }
+  }
+}
+
+int run_cli_thunk(int (*fn)(void*), void* ctx) {
+  try {
+    return fn(ctx);
+  } catch (const std::invalid_argument& e) {
+    // Malformed flag values (--seed=abc, --faults=drop:x) are user error,
+    // not a crash: print the message and exit with a distinct code
+    // instead of letting the exception escape main into std::terminate.
+    std::fprintf(stderr, "error: %s\n", e.what());  // simlint-allow: stdout
+    return 2;
   }
 }
 

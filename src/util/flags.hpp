@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace mns::util {
@@ -20,6 +21,8 @@ class Flags {
   bool has(const std::string& key) const;
   std::string get(const std::string& key, const std::string& def) const;
   std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  /// Like get_int but rejects negative values (seeds, counts).
+  std::uint64_t get_uint(const std::string& key, std::uint64_t def) const;
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;
   /// Byte size with K/M/G suffix.
@@ -37,5 +40,23 @@ class Flags {
   mutable std::map<std::string, bool> queried_;
   std::vector<std::string> positional_;
 };
+
+/// Non-template core of run_cli (flags.cpp owns the catch + stderr).
+int run_cli_thunk(int (*fn)(void*), void* ctx);
+
+/// CLI boundary for mains using Flags: runs `fn` and turns a
+/// malformed-flag std::invalid_argument (bad --seed, bad --faults, typo'd
+/// flag name) into a clear stderr message and exit code 2 instead of an
+/// unhandled exception out of main.
+///
+///   int main(int argc, char** argv) {
+///     return util::run_cli([&] { ...parse + run...; return 0; });
+///   }
+template <class F>
+int run_cli(F&& fn) {
+  using Fn = std::remove_reference_t<F>;
+  auto thunk = [](void* ctx) -> int { return (*static_cast<Fn*>(ctx))(); };
+  return run_cli_thunk(thunk, &fn);
+}
 
 }  // namespace mns::util

@@ -2,11 +2,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <random>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "audit/report.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -209,6 +211,127 @@ TEST(Engine, EventLimitCatchesLiveLock) {
   eng.after(Time::zero(), poll);
   EXPECT_THROW(eng.run(), EventLimitError);
   EXPECT_GE(eng.events_processed(), 10'000u);
+}
+
+// --- cancellable timers (retransmit-timer support) --------------------------
+
+TEST(EngineCancel, CancelledEventNeverRunsAndClockSkipsIt) {
+  Engine eng;
+  bool near_ran = false, far_ran = false;
+  eng.after(Time::us(1), [&] { near_ran = true; });
+  const EventId id =
+      eng.at_cancellable(Time::us(100), [&] { far_ran = true; });
+  EXPECT_TRUE(eng.cancel(id));
+  eng.run();
+  EXPECT_TRUE(near_ran);
+  EXPECT_FALSE(far_ran);
+  // The tombstone is skipped without advancing the clock to us(100).
+  EXPECT_EQ(eng.now(), Time::us(1));
+  EXPECT_EQ(eng.events_processed(), 1u);
+  EXPECT_EQ(eng.events_cancelled(), 1u);
+}
+
+TEST(EngineCancel, CancelFromInsideAnEarlierEvent) {
+  // The retransmit-timer shape: deliver fires first and retires the timer.
+  Engine eng;
+  bool timer_fired = false;
+  const EventId rto =
+      eng.at_cancellable(Time::us(50), [&] { timer_fired = true; });
+  eng.after(Time::us(2), [&] { EXPECT_TRUE(eng.cancel(rto)); });
+  eng.run();
+  EXPECT_FALSE(timer_fired);
+  EXPECT_EQ(eng.now(), Time::us(2));
+}
+
+TEST(EngineCancel, BoxedClosureIsFreedAtCancelNotAtRun) {
+  // A capturing closure is boxed on the heap; cancel must release it
+  // immediately (the armed-timer payload may hold flow references).
+  Engine eng;
+  auto payload = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = payload;
+  const EventId id =
+      eng.at_cancellable(Time::us(10), [payload] { (void)*payload; });
+  payload.reset();
+  EXPECT_FALSE(watch.expired());  // alive inside the armed event
+  EXPECT_TRUE(eng.cancel(id));
+  EXPECT_TRUE(watch.expired());  // freed by the cancel itself
+  eng.run();
+}
+
+TEST(EngineCancel, DoubleCancelReturnsFalse) {
+  Engine eng;
+  const EventId id = eng.at_cancellable(Time::us(1), [] {});
+  EXPECT_TRUE(eng.cancel(id));
+  EXPECT_FALSE(eng.cancel(id));
+  eng.run();
+}
+
+TEST(EngineCancel, CancelAfterFireReturnsFalse) {
+  Engine eng;
+  int runs = 0;
+  const EventId id = eng.at_cancellable(Time::us(1), [&] { ++runs; });
+  eng.run();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(eng.cancel(id));
+}
+
+TEST(EngineCancel, StaleIdDoesNotKillSlotReuser) {
+  // ABA safety: after the original event fires, its slab slot is recycled;
+  // a stale EventId kept from the first occupant must not cancel (or
+  // double-free) the new one.
+  Engine eng;
+  const EventId stale = eng.at_cancellable(Time::us(1), [] {});
+  eng.run();
+  bool second_ran = false;
+  // LIFO free list: this reuses the just-freed slot.
+  const EventId fresh =
+      eng.at_cancellable(Time::us(2), [&] { second_ran = true; });
+  EXPECT_EQ(stale.slot, fresh.slot);
+  EXPECT_FALSE(eng.cancel(stale));
+  eng.run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EngineCancel, InvalidIdIsRejected) {
+  Engine eng;
+  EXPECT_FALSE(eng.cancel(EventId{}));
+  EXPECT_FALSE(eng.cancel(EventId{.slot = 12345, .seq = 7}));
+}
+
+TEST(EngineCancel, PendingEventsExcludesTombstones) {
+  Engine eng;
+  eng.after(Time::us(1), [] {});
+  const EventId id = eng.at_cancellable(Time::us(2), [] {});
+  EXPECT_EQ(eng.pending_events(), 2u);
+  eng.cancel(id);
+  EXPECT_EQ(eng.pending_events(), 1u);
+  eng.run();
+  EXPECT_EQ(eng.pending_events(), 0u);
+}
+
+TEST(EngineCancel, DropProcessesAndAuditsStayCleanWithArmedTimersCancelled) {
+  // The finalize audit demands zero parked tombstones; a run that cancels
+  // armed timers (and one that drops everything mid-flight) must both
+  // come out clean.
+  Engine eng;
+  for (int i = 0; i < 8; ++i) {
+    const EventId id = eng.at_cancellable(Time::us(10 + i), [] {});
+    if (i % 2 == 0) eng.cancel(id);
+  }
+  eng.run();  // odd timers fire, even tombstones are skipped
+  mns::audit::AuditReport report;
+  eng.register_audits(report);
+  EXPECT_NO_THROW(report.require_clean());
+
+  // Now cancel armed timers and abandon the rest via drop_processes.
+  Engine eng2;
+  const EventId armed = eng2.at_cancellable(Time::us(5), [] {});
+  eng2.at_cancellable(Time::us(6), [] {});
+  eng2.cancel(armed);
+  eng2.drop_processes();
+  mns::audit::AuditReport report2;
+  eng2.register_audits(report2);
+  EXPECT_NO_THROW(report2.require_clean());
 }
 
 TEST(Cpu, AccountsComputeAndOverhead) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/bytes.hpp"
 #include "util/flags.hpp"
@@ -171,6 +173,52 @@ TEST(Flags, BadValues) {
   Flags f(3, argv);
   EXPECT_THROW(f.get_int("n", 0), std::invalid_argument);
   EXPECT_THROW(f.get_bool("b", false), std::invalid_argument);
+}
+
+// The hardened numeric accessors must consume the whole value: trailing
+// garbage ("8x") used to parse as 8 silently.
+TEST(Flags, RejectsTrailingGarbageInNumbers) {
+  const char* argv[] = {"prog", "--n=8x", "--d=1.5e", "--u=12junk"};
+  Flags f(4, argv);
+  EXPECT_THROW(f.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(f.get_double("d", 0.0), std::invalid_argument);
+  EXPECT_THROW(f.get_uint("u", 0), std::invalid_argument);
+}
+
+TEST(Flags, UintRejectsNegativeSeed) {
+  const char* argv[] = {"prog", "--seed=-3"};
+  Flags f(2, argv);
+  EXPECT_THROW(f.get_uint("seed", 1), std::invalid_argument);
+}
+
+// The CLI boundary every bench main runs through: a malformed --seed
+// must become a clear stderr message and exit code 2, not an unhandled
+// exception (exit code 134 / core dump) out of main.
+TEST(FlagsDeath, MalformedSeedExitsWithCodeTwo) {
+  auto bad_seed = [] {
+    const char* argv[] = {"prog", "--seed=banana"};
+    Flags f(2, argv);
+    return static_cast<int>(f.get_uint("seed", 1));
+  };
+  EXPECT_EXIT(std::exit(run_cli(bad_seed)), ::testing::ExitedWithCode(2),
+              "error: ");
+}
+
+TEST(FlagsDeath, UnknownFlagExitsWithCodeTwo) {
+  auto typo = [] {
+    const char* argv[] = {"prog", "--sede=7"};
+    Flags f(2, argv);
+    f.get_uint("seed", 1);
+    f.reject_unknown();
+    return 0;
+  };
+  EXPECT_EXIT(std::exit(run_cli(typo)), ::testing::ExitedWithCode(2),
+              "error: ");
+}
+
+TEST(FlagsDeath, CleanRunPassesThroughReturnValue) {
+  EXPECT_EQ(run_cli([] { return 0; }), 0);
+  EXPECT_EQ(run_cli([] { return 7; }), 7);
 }
 
 TEST(Table, AlignedAndCsv) {

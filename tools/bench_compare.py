@@ -4,6 +4,7 @@ google-benchmark JSON reports (BENCH_engine.json).
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold 0.30]
+                     [--require NAME_REGEX ...]
 
 Compares items_per_second for every benchmark present in BOTH reports
 (aggregates like _mean/_median and benchmarks without an items/s counter
@@ -14,7 +15,11 @@ per-packet allocation creeping back in) fails the run.
 
 New benchmarks (in CURRENT only) and retired ones (BASELINE only) are
 reported but never fail: the gate must not block adding or removing
-benchmarks.
+benchmarks. The exception is --require NAME_REGEX (repeatable): the
+CURRENT report must contain at least one comparable benchmark matching
+each pattern, so load-bearing benchmarks (e.g. BM_RetransmitStorm, the
+fault-recovery hot path) cannot be silently retired or renamed out of
+the gate.
 
 Exit status: 0 ok, 1 regression(s), 2 usage/IO error.
 """
@@ -23,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -51,10 +57,24 @@ def main(argv: list[str]) -> int:
     ap.add_argument("--threshold", type=float, default=0.30,
                     help="max tolerated fractional throughput drop "
                          "(default 0.30)")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME_REGEX",
+                    help="fail unless CURRENT contains a comparable "
+                         "benchmark matching this regex (repeatable)")
     args = ap.parse_args(argv[1:])
 
     base = load_items_per_second(args.baseline)
     cur = load_items_per_second(args.current)
+
+    missing = [pat for pat in args.require
+               if not any(re.search(pat, name) for name in cur)]
+    if missing:
+        for pat in missing:
+            print(f"bench_compare: required benchmark missing from "
+                  f"{args.current}: no name matches '{pat}'",
+                  file=sys.stderr)
+        return 1
+
     if not base:
         print("bench_compare: baseline has no comparable benchmarks; "
               "nothing to gate")

@@ -21,6 +21,12 @@ statically:
                   whitelisted directory); a simulation itself is
                   single-threaded by contract, which is what makes runs
                   deterministic and --jobs N bit-identical to --jobs 1.
+  fault-alloc     no heap allocation (new / malloc / make_shared /
+                  make_unique / std::function) and no <random>
+                  distributions in src/fault — the injector's verdict
+                  paths run per packet and must stay allocation-free,
+                  and libstdc++/libc++ distributions are not bit-portable
+                  (determinism would depend on the host toolchain).
   model-alloc     no std::make_shared / std::function in src/model — the
                   message data path is pooled state machines driven by raw
                   EventFn continuations, allocation-free after warm-up.
@@ -101,6 +107,23 @@ PATTERN_RULES = [
         "bench/examples/tools print",
     ),
     (
+        "fault-alloc",
+        re.compile(
+            r"std::(make_shared|make_unique|function)\b"
+            r"|(?<![\w.:>])(malloc|calloc|realloc)\s*\("
+            r"|(?<![\w:])new\s+[A-Za-z_:]"
+            r"|std::(mt19937(_64)?|default_random_engine|minstd_rand0?"
+            r"|uniform_(int|real)_distribution|bernoulli_distribution)\b"
+            r"|#\s*include\s*<random>"
+        ),
+        "heap allocation or non-portable RNG in src/fault; the injector's "
+        "verdict paths (packet_verdict, reg_should_fail) are called per "
+        "packet and must stay allocation-free, drawing only from the "
+        "pre-seeded util/rng.hpp streams sized at construction — "
+        "<random> distributions are not bit-portable across standard "
+        "libraries and would break cross-platform determinism",
+    ),
+    (
         "model-alloc",
         re.compile(r"std::(make_shared|function)\b"),
         "type-erased/shared allocation in src/model hot-path code; the "
@@ -121,6 +144,10 @@ THREADING_WHITELIST_DIRS = {"sweep"}
 # warm-up. MPI devices and apps may use type-erased closures freely.
 MODEL_ALLOC_DIRS = {"model"}
 
+# fault-alloc applies to the chaos layer (src/fault): packet_verdict /
+# reg_should_fail sit on the per-packet data path.
+FAULT_ALLOC_DIRS = {"fault"}
+
 
 def threading_exempt(path: Path) -> bool:
     return bool(THREADING_WHITELIST_DIRS.intersection(path.parts))
@@ -128,6 +155,10 @@ def threading_exempt(path: Path) -> bool:
 
 def model_alloc_applies(path: Path) -> bool:
     return bool(MODEL_ALLOC_DIRS.intersection(path.parts))
+
+
+def fault_alloc_applies(path: Path) -> bool:
+    return bool(FAULT_ALLOC_DIRS.intersection(path.parts))
 
 
 def strip_comments_and_strings(text: str) -> tuple[str, dict[int, set[str]]]:
@@ -316,6 +347,8 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
             if rule == "threading" and threading_exempt(path):
                 continue
             if rule == "model-alloc" and not model_alloc_applies(path):
+                continue
+            if rule == "fault-alloc" and not fault_alloc_applies(path):
                 continue
             if pattern.search(line_text) and not allowed(rule, line_no):
                 findings.append((path, line_no, rule, message))
