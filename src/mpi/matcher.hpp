@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -157,7 +158,13 @@ class Matcher {
 
   std::unordered_map<std::uint64_t, Bucket<PostedRecv>> posted_;
   Bucket<PostedRecv> posted_wild_;  // receives naming kAnySource/kAnyTag
-  std::unordered_map<std::uint64_t, Bucket<Unexpected>> unexpected_;
+  // Ordered map: find_unexpected's wildcard scan iterates this container,
+  // and while its min-by-seq selection is order-insensitive, keeping the
+  // visit order keyed on (src, tag) instead of host hashing makes the
+  // determinism structural. The map is touched once per message vs. the
+  // posted_ hash's once per packet, so the rb-tree cost is off the
+  // critical path.
+  std::map<std::uint64_t, Bucket<Unexpected>> unexpected_;
   std::uint64_t next_seq_ = 0;
   std::size_t posted_count_ = 0;
   std::size_t unexpected_count_ = 0;

@@ -33,6 +33,7 @@
 #include "audit/audit.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "util/annotations.hpp"
 
 namespace mns::audit {
 class AuditReport;
@@ -83,8 +84,10 @@ class EventFn {
 
   /// Wrap an arbitrary callable, boxing only when it cannot be stored
   /// inline (capturing more than two words, or non-trivial captures).
+  /// MNS_HOT: the boxed branch allocates by design; hot-path callers are
+  /// expected to pass fn-pointer payloads that take the inline branches.
   template <class F>
-  static EventFn make(F&& f) {
+  MNS_HOT static EventFn make(F&& f) {
     using D = std::decay_t<F>;
     if constexpr (std::is_empty_v<D> && std::is_trivially_copyable_v<D> &&
                   std::is_default_constructible_v<D>) {
@@ -197,7 +200,9 @@ class Engine {
   /// Events at exactly now() — every synchronization wake-up, process
   /// start, and hand-off in the simulator — take the O(1) now-queue fast
   /// path; only genuinely future events pay the heap sift.
-  void at(Time when, EventFn fn) {
+  /// MNS_HOT: the now-queue push_back is amortized — its capacity is
+  /// retained across clear() and reaches steady state after warm-up.
+  MNS_HOT void at(Time when, EventFn fn) {
     const std::int64_t at_ps = when.count_ps();
     if (at_ps == now_.count_ps()) {
       nowq_.push_back(NowEvent{next_seq_++, std::move(fn)});

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <exception>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -82,7 +83,16 @@ class SweepRunner {
     }
     std::vector<R> out;
     out.reserve(n);
-    for (auto& s : slots) out.push_back(std::move(*s));
+    for (auto& s : slots) {
+      // Reaching here means no worker recorded an exception, which with
+      // the rethrow loop above implies every slot was filled; check it
+      // anyway so a future scheduling bug surfaces as an error instead
+      // of UB on an empty optional.
+      if (!s.has_value()) {
+        throw std::logic_error("SweepRunner: point skipped without error");
+      }
+      out.push_back(std::move(*s));
+    }
     return out;
   }
 

@@ -1,0 +1,19 @@
+// known-bad: a coroutine lambda that captures by reference and escapes
+// its enclosing frame via spawn(). The lambda object dies when start()
+// returns; the coroutine frame built from it lives on — the captured
+// reference dangles at the first suspension point.
+#include <cstdint>
+
+#include "fixture_prelude.hpp"
+
+namespace fixbad {
+
+void start(fix::Engine& eng) {
+  std::int64_t local_budget = 100;
+  eng.spawn([&]() -> fix::Task {
+    co_await fix::sleep_ps(10);
+    local_budget -= 1;  // dangling: start() has long returned
+  });
+}
+
+}  // namespace fixbad

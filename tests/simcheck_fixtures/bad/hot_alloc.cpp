@@ -1,0 +1,38 @@
+// known-bad: allocation reachable from a hot-path root, both directly and
+// through a callee two hops down the call graph. The fixture driver
+// passes --hot-root 'HotMachine::step_event$' so step_event anchors the
+// reachability scan.
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fixture_prelude.hpp"
+
+namespace fixbad {
+
+struct Packet {
+  std::uint32_t seq = 0;
+};
+
+struct HotMachine {
+  std::vector<Packet> backlog;
+  std::function<void(Packet)> hook;
+
+  // BAD (direct): container growth + boxed std::function on the hot path.
+  void step_event(Packet p) {
+    backlog.push_back(p);                       // growth on hot path
+    hook = [p](Packet q) { (void)p; (void)q; };  // std::function rebind
+    stage(p);
+  }
+
+  void stage(Packet p) { commit(p); }
+
+  // BAD (transitive): reached via step_event -> stage -> commit.
+  void commit(Packet p) {
+    auto* copy = new Packet(p);                  // raw new on hot path
+    delete copy;
+  }
+};
+
+}  // namespace fixbad

@@ -1,0 +1,30 @@
+// known-bad: containers keyed on pointer types. Iteration order (ordered
+// maps) or bucket order (unordered) then depends on host allocation
+// addresses — different runs, different orders.
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "fixture_prelude.hpp"
+
+namespace fixbad {
+
+struct Flow {
+  int id = 0;
+};
+
+struct PtrKeyed {
+  std::map<Flow*, int> credits;                   // BAD: ptr-key
+  std::set<const Flow*> parked;                   // BAD: ptr-key
+  std::unordered_map<Flow*, int> refcounts;       // BAD: ptr-key
+};
+
+int sum(PtrKeyed& p) {
+  int total = 0;
+  for (auto& [flow, credit] : p.credits) {
+    total += credit + flow->id;
+  }
+  return total;
+}
+
+}  // namespace fixbad

@@ -1,0 +1,48 @@
+// known-bad: iteration over unordered containers whose loop body leaks the
+// (host-hash-dependent) visit order into sim-visible state, one variant
+// per leak class the rule knows.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fixture_prelude.hpp"
+
+namespace fixbad {
+
+struct Ledger {
+  std::unordered_map<std::uint64_t, int> balances;
+  std::unordered_set<std::uint64_t> dirty;
+  std::vector<std::uint64_t> log;
+  std::uint64_t total = 0;
+
+  // BAD: writes a member from inside the unordered loop — the member's
+  // final value may be order-insensitive, but the per-step trace is not.
+  void tally() {
+    for (auto& [key, bal] : balances) {
+      total += static_cast<std::uint64_t>(bal);
+      log.push_back(key);
+    }
+  }
+
+  // BAD: early exit — the element found depends on the visit order.
+  std::uint64_t first_dirty() {
+    for (auto key : dirty) {
+      if (key % 2 == 0) {
+        return key;
+      }
+    }
+    return 0;
+  }
+
+  // BAD: a local written in the loop flows into the return value.
+  std::uint64_t pick_any() {
+    std::uint64_t best = 0;
+    for (auto key : dirty) {
+      best = key;
+    }
+    return best;
+  }
+};
+
+}  // namespace fixbad

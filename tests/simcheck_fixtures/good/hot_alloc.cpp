@@ -1,0 +1,43 @@
+// known-good: the hot path is allocation-free; the one amortized growth
+// site lives behind an MNS_HOT-annotated boundary (whose own body is
+// exempt but whose callees are still checked — refill() proves the
+// checker keeps descending without flagging clean code).
+#include <cstdint>
+#include <vector>
+
+#include "fixture_prelude.hpp"
+
+namespace fixgood {
+
+struct Packet {
+  std::uint32_t seq = 0;
+};
+
+struct HotMachine {
+  std::vector<Packet> pool;
+  std::vector<std::uint32_t> free_slots;
+  std::uint64_t delivered = 0;
+
+  // Hot root (--hot-root 'HotMachine::step_event$'): recycles pooled
+  // slots, counts, calls only allocation-free or annotated callees.
+  void step_event(Packet p) {
+    delivered += 1;
+    pool[free_slots.back()] = p;
+    acquire_slot();
+  }
+
+  // MNS_HOT: audited boundary — the pool grows amortized on warm-up and
+  // recycles thereafter. Own-body growth is exempt by contract.
+  MNS_HOT void acquire_slot() {
+    if (free_slots.empty()) {
+      free_slots.push_back(static_cast<std::uint32_t>(pool.size()));
+      pool.push_back(Packet{});
+      refill();
+    }
+  }
+
+  // Callee of an MNS_HOT function: still checked (and clean).
+  void refill() { delivered += 0; }
+};
+
+}  // namespace fixgood

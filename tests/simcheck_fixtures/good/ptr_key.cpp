@@ -1,0 +1,31 @@
+// known-good: the same shapes as bad/ptr_key.cpp with stable keys —
+// integer ids and canonicalized u64s — which is exactly the remediation
+// the rule's message prescribes.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "fixture_prelude.hpp"
+
+namespace fixgood {
+
+struct Flow {
+  int id = 0;
+};
+
+struct IdKeyed {
+  std::map<std::uint32_t, int> credits;            // keyed on slot index
+  std::set<std::uint32_t> parked;
+  std::unordered_map<std::uint64_t, int> refcounts;  // canonical u64 key
+};
+
+int sum(IdKeyed& p) {
+  int total = 0;
+  for (auto& [slot, credit] : p.credits) {         // ordered: fine to scan
+    total += credit + static_cast<int>(slot);
+  }
+  return total;
+}
+
+}  // namespace fixgood

@@ -1,0 +1,32 @@
+// known-good: unordered iteration whose body is provably order-blind —
+// a commutative fold into a local that never leaves the function. This
+// mirrors the audit sweeps in src/ (sum bytes, count entries) that must
+// stay legal.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fixture_prelude.hpp"
+
+namespace fixgood {
+
+struct Ledger {
+  std::unordered_map<std::uint64_t, int> balances;
+  std::unordered_set<std::uint64_t> dirty;
+
+  // OK: commutative sum into a local, no early exit, nothing escapes.
+  void audit() const {
+    std::uint64_t sum = 0;
+    for (const auto& [key, bal] : balances) {
+      sum += static_cast<std::uint64_t>(bal);
+    }
+    (void)sum;
+  }
+
+  // OK: point lookups — no iteration at all.
+  bool is_dirty(std::uint64_t key) const {
+    return dirty.find(key) != dirty.end();
+  }
+};
+
+}  // namespace fixgood

@@ -1,0 +1,483 @@
+"""Clang frontend: libclang (python clang.cindex) → simcheck IR.
+
+Used when the bindings import AND a libclang shared object loads; the CLI
+falls back to the token frontend otherwise. Parsing each TU with its real
+compile flags gives exact types for container keys and loop ranges —
+the fixtures run against both frontends so their verdicts stay aligned."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .lex import strip_and_harvest
+from .model import (AllocSite, CallSite, ClassInfo, ContainerDecl, Function,
+                    LambdaSite, LoopSite, SourceModel, StaticVar)
+
+try:  # pragma: no cover - exercised only where bindings exist
+    from clang import cindex as _cx
+except ImportError:  # pragma: no cover
+    _cx = None
+
+_GROWTH = {"push_back", "emplace_back", "push_front", "emplace_front",
+           "emplace", "try_emplace", "insert", "insert_or_assign",
+           "resize", "reserve", "append", "assign"}
+_ALLOC_FNS = {"make_unique": "make_unique", "make_shared": "make_shared",
+              "malloc": "malloc", "calloc": "malloc", "realloc": "malloc"}
+
+
+def available() -> bool:
+    """True if clang.cindex imports and libclang actually loads."""
+    if _cx is None:
+        return False
+    try:
+        _cx.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def _spelling(t) -> str:
+    return t.get_canonical().spelling
+
+
+def _is_unordered(type_spelling: str) -> bool:
+    return "unordered_map" in type_spelling or \
+        "unordered_set" in type_spelling or \
+        "unordered_multi" in type_spelling
+
+
+def _container_template(type_spelling: str) -> str:
+    for t in ("unordered_multimap", "unordered_multiset", "unordered_map",
+              "unordered_set", "multimap", "multiset", "map", "set"):
+        if "std::" + t + "<" in type_spelling.replace(" ", ""):
+            return t
+    return ""
+
+
+def _key_of(type_spelling: str):
+    lt = type_spelling.find("<")
+    if lt == -1:
+        return ""
+    depth, out = 0, []
+    for ch in type_spelling[lt:]:
+        if ch == "<":
+            depth += 1
+            if depth == 1:
+                continue
+        elif ch == ">":
+            depth -= 1
+            if depth == 0:
+                break
+        elif ch == "," and depth == 1:
+            break
+        out.append(ch)
+    return "".join(out).strip()
+
+
+class ClangLoader:
+    def __init__(self, root: Path):
+        self.root = root.resolve()
+        self.sm = SourceModel(frontend="clang")
+        self.index = _cx.Index.create()
+        self._seen_files: set[str] = set()
+        self._seen_fn_keys: set[tuple] = set()
+
+    def _rel(self, f) -> str:
+        try:
+            return Path(str(f)).resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return ""
+
+    def _in_project(self, cursor) -> bool:
+        loc = cursor.location
+        return bool(loc.file) and bool(self._rel(loc.file.name))
+
+    def load_tu(self, source: Path, args: list[str]) -> None:
+        keep = [a for a in args[1:] if a not in ("-c", "-o")
+                and not a.endswith(".o") and Path(a) != source]
+        tu = self.index.parse(str(source), args=keep,
+                              options=_cx.TranslationUnit.PARSE_INCOMPLETE)
+        self._walk(tu.cursor, ns=[])
+        for f in {c.location.file.name for c in tu.cursor.walk_preorder()
+                  if c.location.file}:
+            rel = self._rel(f)
+            if rel and rel not in self._seen_files:
+                self._seen_files.add(rel)
+                self.sm.files.append(rel)
+                text = Path(f).read_text(encoding="utf-8", errors="replace")
+                _, allows = strip_and_harvest(text)
+                self.sm.allows[rel] = allows
+
+    # -- declaration walk ----------------------------------------------------
+
+    def _walk(self, cursor, ns: list[str]) -> None:
+        K = _cx.CursorKind
+        for c in cursor.get_children():
+            if not self._in_project(c) and c.kind != K.NAMESPACE:
+                continue
+            if c.kind == K.NAMESPACE:
+                self._walk(c, ns + [c.spelling] if c.spelling else ns)
+            elif c.kind in (K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE):
+                if c.is_definition():
+                    self._visit_class(c, ns)
+            elif c.kind in (K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
+                            K.DESTRUCTOR, K.FUNCTION_TEMPLATE):
+                if c.is_definition():
+                    self._visit_function(c, ns, cls="")
+            elif c.kind == K.VAR_DECL:
+                self._visit_var(c, ns, cls=None)
+            elif c.kind == K.LINKAGE_SPEC:
+                self._walk(c, ns)
+
+    def _visit_class(self, cursor, ns: list[str]) -> None:
+        K = _cx.CursorKind
+        qname = "::".join([n for n in ns if n] + [cursor.spelling])
+        info = self.sm.classes.setdefault(qname, ClassInfo(qname=qname))
+        for c in cursor.get_children():
+            if c.kind == K.CXX_BASE_SPECIFIER:
+                base = c.type.spelling.split("<")[0].split("::")[-1]
+                if base and base not in info.bases:
+                    info.bases.append(base)
+            elif c.kind == K.FIELD_DECL:
+                ty = _spelling(c.type)
+                info.member_types[c.spelling] = ty
+                self._maybe_container(c.spelling, c, ty, owner=qname)
+            elif c.kind == K.VAR_DECL:      # static data member
+                self._visit_var(c, ns + [cursor.spelling], cls=qname)
+            elif c.kind in (K.CXX_METHOD, K.CONSTRUCTOR, K.DESTRUCTOR,
+                            K.FUNCTION_TEMPLATE):
+                if c.is_definition():
+                    self._visit_function(c, ns, cls=qname)
+            elif c.kind in (K.CLASS_DECL, K.STRUCT_DECL):
+                if c.is_definition():
+                    self._visit_class(c, ns + [cursor.spelling])
+
+    def _visit_var(self, cursor, ns: list[str], cls: str | None) -> None:
+        ty = cursor.type
+        spell = _spelling(ty)
+        rel = self._rel(cursor.location.file.name)
+        if not rel:
+            return
+        qname = "::".join([n for n in ns if n] + [cursor.spelling])
+        self._maybe_container(cursor.spelling, cursor, spell,
+                              owner=cls or "::".join(ns))
+        is_const = ty.is_const_qualified()
+        tls = cursor.storage_class == _cx.StorageClass.NONE and \
+            "thread_local" in _first_tokens(cursor)
+        kind = "thread_local" if tls else (
+            "static_member" if cls else "namespace")
+        if cls and is_const:
+            return
+        self.sm.statics.append(StaticVar(
+            name=cursor.spelling, qname=qname, file=rel,
+            line=cursor.location.line, kind=kind, type_str=spell,
+            is_const=is_const))
+
+    def _maybe_container(self, name: str, cursor, type_spelling: str,
+                         owner: str) -> None:
+        tmpl = _container_template(type_spelling)
+        if not tmpl:
+            return
+        rel = self._rel(cursor.location.file.name)
+        if not rel:
+            return
+        key = _key_of(type_spelling)
+        self.sm.containers.append(ContainerDecl(
+            name=name, file=rel, line=cursor.location.line,
+            type_str=type_spelling, template=tmpl, key_type=key,
+            ptr_key=key.strip().endswith("*"), owner=owner))
+
+    # -- function bodies -----------------------------------------------------
+
+    def _visit_function(self, cursor, ns: list[str], cls: str) -> None:
+        rel = self._rel(cursor.location.file.name)
+        if not rel:
+            return
+        sem = cursor.semantic_parent
+        if not cls and sem and sem.kind in (_cx.CursorKind.CLASS_DECL,
+                                            _cx.CursorKind.STRUCT_DECL):
+            cls = _qname_of(sem)
+        qname = (cls + "::" + cursor.spelling) if cls else \
+            "::".join([n for n in ns if n] + [cursor.spelling])
+        key = (qname, rel, cursor.location.line)
+        if key in self._seen_fn_keys:
+            return
+        self._seen_fn_keys.add(key)
+        fn = Function(qname=qname, name=cursor.spelling, cls=cls, file=rel,
+                      line=cursor.location.line)
+        for tok in cursor.get_tokens():
+            if tok.spelling in ("MNS_HOT", "mns_hot"):
+                fn.annotations.add("MNS_HOT")
+                break
+        locals_: set[str] = {a.spelling for a in cursor.get_arguments()}
+        self._walk_body(cursor, fn, locals_, in_lambda=None)
+        self.sm.functions.append(fn)
+
+    def _walk_body(self, cursor, fn: Function, locals_: set[str],
+                   in_lambda: LambdaSite | None) -> None:
+        K = _cx.CursorKind
+        for c in cursor.get_children():
+            kind = c.kind
+            line = c.location.line
+            if kind == K.VAR_DECL:
+                locals_.add(c.spelling)
+                spell = _spelling(c.type)
+                self._maybe_container(c.spelling, c, spell, owner=fn.qname)
+                toks = _first_tokens(c)
+                if "static" in toks or "thread_local" in toks:
+                    sv = StaticVar(
+                        name=c.spelling, qname=fn.qname + "::" + c.spelling,
+                        file=fn.file, line=line,
+                        kind="thread_local" if "thread_local" in toks
+                        else "local_static", type_str=spell,
+                        is_const=c.type.is_const_qualified(),
+                        owner_function=fn.qname)
+                    fn.static_locals.append(sv)
+                    self.sm.statics.append(sv)
+                self._walk_body(c, fn, locals_, in_lambda)
+            elif kind == K.CXX_NEW_EXPR:
+                fn.allocs.append(AllocSite(kind="new", line=line,
+                                           detail="new expression"))
+                self._walk_body(c, fn, locals_, in_lambda)
+            elif kind == K.LAMBDA_EXPR:
+                lam = self._visit_lambda(c, fn, locals_)
+                fn.lambdas.append(lam)
+            elif kind == K.CALL_EXPR:
+                self._visit_call(c, fn, line)
+                self._walk_body(c, fn, locals_, in_lambda)
+            elif kind == K.CXX_FOR_RANGE_STMT:
+                self._visit_range_for(c, fn, locals_, in_lambda)
+            elif kind in (K.COROUTINE_BODY_STMT,):
+                if in_lambda is None:
+                    fn.is_coroutine = True
+                else:
+                    in_lambda.is_coroutine = True
+                self._walk_body(c, fn, locals_, in_lambda)
+            elif kind == K.RETURN_STMT:
+                for d in c.walk_preorder():
+                    if d.kind == K.DECL_REF_EXPR:
+                        fn.returned_idents.add(d.spelling)
+                self._walk_body(c, fn, locals_, in_lambda)
+            else:
+                if kind == K.DECL_REF_EXPR:
+                    fn.idents.add(c.spelling)
+                if c.spelling in ("co_await", "co_return", "co_yield") or \
+                        kind in (getattr(K, "COAWAIT_EXPR", kind),):
+                    pass
+                self._walk_body(c, fn, locals_, in_lambda)
+        # Token-level coroutine sniff: cindex coverage of coroutine nodes
+        # varies by libclang version, so double-check with tokens once at
+        # the top call (cursor is the function decl itself there).
+        if cursor.kind in (K.FUNCTION_DECL, K.CXX_METHOD,
+                           K.FUNCTION_TEMPLATE) and not fn.is_coroutine:
+            for tok in cursor.get_tokens():
+                if tok.spelling in ("co_await", "co_return", "co_yield"):
+                    fn.is_coroutine = True
+                    break
+
+    def _visit_lambda(self, cursor, fn: Function,
+                      locals_: set[str]) -> LambdaSite:
+        toks = list(cursor.get_tokens())
+        cap = ""
+        if toks and toks[0].spelling == "[":
+            depth, parts = 0, []
+            for t in toks:
+                if t.spelling == "[":
+                    depth += 1
+                    if depth == 1:
+                        continue
+                elif t.spelling == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                parts.append(t.spelling)
+            cap = " ".join(parts)
+        lam = LambdaSite(line=cursor.location.line, captures=cap,
+                         by_ref="&" in cap)
+        for t in toks:
+            if t.spelling in ("co_await", "co_return", "co_yield"):
+                lam.is_coroutine = True
+                break
+        self._walk_body(cursor, fn, set(locals_), in_lambda=lam)
+        lam.usage = _lambda_usage_clang(cursor)
+        return lam
+
+    def _visit_call(self, cursor, fn: Function, line: int) -> None:
+        name = cursor.spelling
+        if not name:
+            ref = cursor.referenced
+            name = ref.spelling if ref else ""
+        if not name:
+            return
+        recv = ""
+        kids = list(cursor.get_children())
+        if kids and kids[0].kind == _cx.CursorKind.MEMBER_REF_EXPR:
+            recv = _member_chain(kids[0])
+        qualifier = ""
+        ref = cursor.referenced
+        if ref is not None and ref.semantic_parent is not None:
+            qualifier = ref.semantic_parent.spelling or ""
+        if name in _ALLOC_FNS:
+            fn.allocs.append(AllocSite(kind=_ALLOC_FNS[name], line=line,
+                                       detail=name))
+            return
+        if name == "function" and qualifier == "std":
+            fn.allocs.append(AllocSite(kind="std_function", line=line,
+                                       detail="std::function"))
+            return
+        if name in _GROWTH and recv:
+            fn.allocs.append(AllocSite(kind="growth:" + name, line=line,
+                                       detail=recv + "." + name + "(...)"))
+        fn.calls.append(CallSite(name=name, line=line, qualifier=qualifier,
+                                 receiver=recv))
+        if ref is not None and ref.kind == _cx.CursorKind.CONSTRUCTOR and \
+                ref.semantic_parent is not None and \
+                ref.semantic_parent.spelling == "function":
+            fn.allocs.append(AllocSite(kind="std_function", line=line,
+                                       detail="std::function construction"))
+
+    def _visit_range_for(self, cursor, fn: Function, locals_: set[str],
+                         in_lambda: LambdaSite | None) -> None:
+        K = _cx.CursorKind
+        kids = list(cursor.get_children())
+        range_init = None
+        body = None
+        loop_var = ""
+        for c in kids:
+            if c.kind == K.VAR_DECL and c.spelling.startswith("__range"):
+                range_init = c
+            elif c.kind == K.VAR_DECL:
+                loop_var = c.spelling
+                locals_.add(c.spelling)
+            elif c.kind == K.COMPOUND_STMT or body is None:
+                body = c
+        # Fallback: the range expression is the child before the body.
+        iterable, ty = "", ""
+        src = range_init
+        if src is None:
+            exprs = [c for c in kids if c.kind not in (K.VAR_DECL,
+                                                       K.DECL_STMT)]
+            src = exprs[0] if exprs else None
+            body = exprs[-1] if exprs else body
+        if src is not None:
+            ty = _spelling(src.type)
+            iterable = " ".join(t.spelling for t in src.get_tokens())[:80]
+        loop = LoopSite(line=cursor.location.line, iterable=iterable,
+                        iterable_type=ty, unordered=_is_unordered(ty))
+        if body is not None:
+            self._scan_loop_body(body, loop, locals_ | {loop_var}, fn)
+        fn.loops.append(loop)
+        if body is not None:
+            self._walk_body(body, fn, locals_, in_lambda)
+
+    def _scan_loop_body(self, body, loop: LoopSite, locals_: set[str],
+                        fn: Function) -> None:
+        K = _cx.CursorKind
+        for c in body.walk_preorder():
+            if c.kind == K.BREAK_STMT:
+                loop.has_break = True
+            elif c.kind == K.RETURN_STMT:
+                loop.has_return = True
+            elif c.kind in (K.BINARY_OPERATOR,
+                            K.COMPOUND_ASSIGNMENT_OPERATOR):
+                toks = [t.spelling for t in c.get_tokens()]
+                if any(op in toks for op in
+                       ("=", "+=", "-=", "*=", "|=", "&=", "^=")):
+                    kids = list(c.get_children())
+                    if kids:
+                        base = _base_ident(kids[0])
+                        if base:
+                            if base in locals_:
+                                loop.wrote_locals.add(base)
+                            else:
+                                loop.writes_nonlocal.append(base)
+            elif c.kind == K.CALL_EXPR and c.spelling in _GROWTH | {
+                    "erase", "fire", "fail", "schedule", "record", "add",
+                    "push", "post", "send", "count"}:
+                kids = list(c.get_children())
+                if kids and kids[0].kind == K.MEMBER_REF_EXPR:
+                    chain = _member_chain(kids[0])
+                    base = chain.split(".")[0] if chain else ""
+                    if base and base not in locals_:
+                        loop.sink_calls.append(chain + "." + c.spelling)
+
+
+def _first_tokens(cursor, limit: int = 6) -> list[str]:
+    out = []
+    for i, t in enumerate(cursor.get_tokens()):
+        if i >= limit:
+            break
+        out.append(t.spelling)
+    return out
+
+
+def _qname_of(cursor) -> str:
+    parts = []
+    c = cursor
+    while c is not None and c.kind != _cx.CursorKind.TRANSLATION_UNIT:
+        if c.spelling:
+            parts.append(c.spelling)
+        c = c.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def _member_chain(cursor) -> str:
+    K = _cx.CursorKind
+    parts = [cursor.spelling] if cursor.spelling else []
+    kids = list(cursor.get_children())
+    while kids:
+        c = kids[0]
+        if c.kind == K.MEMBER_REF_EXPR and c.spelling:
+            parts.append(c.spelling)
+            kids = list(c.get_children())
+        elif c.kind == K.DECL_REF_EXPR and c.spelling:
+            parts.append(c.spelling)
+            break
+        else:
+            break
+    return ".".join(reversed(parts))
+
+
+def _base_ident(cursor) -> str:
+    K = _cx.CursorKind
+    c = cursor
+    while True:
+        if c.kind == K.DECL_REF_EXPR:
+            return c.spelling
+        kids = list(c.get_children())
+        if not kids:
+            return c.spelling if c.kind == K.MEMBER_REF_EXPR else ""
+        c = kids[0]
+
+
+def _lambda_usage_clang(cursor) -> str:
+    p = cursor.semantic_parent
+    lex = cursor.lexical_parent
+    K = _cx.CursorKind
+    parent = lex or p
+    if parent is None:
+        return "unknown"
+    if parent.kind == K.CALL_EXPR:
+        callee = parent.spelling or ""
+        if callee == "run":
+            return "run_arg"
+        return "arg:" + callee if callee else "arg:?"
+    if parent.kind == K.VAR_DECL:
+        return "named:" + parent.spelling
+    if parent.kind == K.RETURN_STMT:
+        return "returned"
+    return "unknown"
+
+
+def parse_with_clang(compdb_entries: list[dict], root: Path) -> SourceModel:
+    from .compdb import entry_args, tu_sources
+    loader = ClangLoader(root)
+    for entry in compdb_entries:
+        f = Path(entry.get("file", ""))
+        if not f.is_absolute():
+            f = Path(entry.get("directory", ".")) / f
+        f = f.resolve()
+        if f not in set(tu_sources(compdb_entries, root)):
+            continue
+        loader.load_tu(f, entry_args(entry))
+    return loader.sm

@@ -1,0 +1,383 @@
+"""The four rule families, evaluated over a SourceModel.
+
+Every rule fires on positive evidence only; suppression is per-line via
+`// simcheck-allow: <rule>` (same line or the line above, mirroring
+simlint). Severity 'info' findings are reported and land in
+simcheck_state.json but never affect the exit status."""
+
+from __future__ import annotations
+
+import re
+
+from .model import Finding, Function, SourceModel
+
+# Functions that anchor the simulator's per-event hot paths: the MsgFlow
+# packet machine, the fault injector's verdict paths, and the engine's
+# dispatch loop. Matched against Function.qname.
+DEFAULT_HOT_ROOTS = [
+    r"NetFabric::(flow_step|deliver|lose_packet|arm_rto|resend_lost|"
+    r"fail_flow|rto_delay|replay_flow|maybe_release|release_flow)$",
+    r"MsgFlow::thunk$",
+    r"Injector::(packet_verdict|reg_should_fail)$",
+    r"Engine::step$",
+]
+
+# Callees that defer their lambda argument beyond the current frame — a
+# by-reference coroutine lambda handed to one of these escapes its scope.
+# Engine::run is NOT here: run() drains the simulation synchronously, so
+# the caller's frame outlives every event it schedules.
+DEFERRING_CALLEES = {
+    "spawn", "at", "at_cancellable", "schedule", "post", "defer",
+    "enqueue", "submit", "start", "later",
+}
+
+# Ambiguity cap for name-only call resolution: beyond this many same-name
+# candidates we treat the call as unresolvable rather than explode the
+# graph with false edges.
+MAX_CANDIDATES = 8
+
+STD_NOISE = frozenset({
+    "move", "forward", "swap", "get", "min", "max", "abs", "size",
+    "begin", "end", "cbegin", "cend", "data", "empty", "find", "count",
+    "clear", "front", "back", "at", "to_string", "sort", "stable_sort",
+    "tie", "exchange", "declval",
+})
+
+
+class CallGraph:
+    def __init__(self, sm: SourceModel):
+        self.sm = sm
+        self.by_name: dict[str, list[Function]] = {}
+        self.by_cls_name: dict[tuple[str, str], list[Function]] = {}
+        for fn in sm.functions:
+            self.by_name.setdefault(fn.name, []).append(fn)
+            if fn.cls:
+                short = fn.cls.rsplit("::", 1)[-1]
+                self.by_cls_name.setdefault((short, fn.name),
+                                            []).append(fn)
+        self._edges: dict[int, list[Function]] = {}
+
+    def _receiver_class(self, caller: Function, base: str) -> str:
+        """Short class name of a receiver expression base, if derivable."""
+        if base in ("this", ""):
+            return caller.cls.rsplit("::", 1)[-1] if caller.cls else ""
+        cls = self.sm.classes.get(caller.cls)
+        ty = ""
+        if cls and base in cls.member_types:
+            ty = cls.member_types[base]
+        if not ty:
+            return ""
+        for (short, _), _fns in self.by_cls_name.items():
+            if re.search(r"\b" + re.escape(short) + r"\b", ty):
+                return short
+        return ""
+
+    def _derived_of(self, short: str) -> list[str]:
+        out = []
+        for cq, ci in self.sm.classes.items():
+            if short in ci.bases:
+                out.append(cq.rsplit("::", 1)[-1])
+        return out
+
+    def callees(self, fn: Function) -> list[Function]:
+        # keyed by object identity: overload sets share a qname
+        if id(fn) in self._edges:
+            return self._edges[id(fn)]
+        out: list[Function] = []
+        seen: set[int] = set()
+
+        def add(fns: list[Function]) -> None:
+            for f in fns:
+                if id(f) not in seen:
+                    seen.add(id(f))
+                    out.append(f)
+
+        for cs in fn.calls:
+            if cs.qualifier == "std":
+                continue
+            resolved = False
+            if cs.qualifier:
+                key = (cs.qualifier, cs.name)
+                if key in self.by_cls_name:
+                    add(self.by_cls_name[key])
+                    resolved = True
+            if not resolved and cs.receiver:
+                base = cs.receiver.split(".")[0]
+                short = self._receiver_class(fn, base)
+                if short:
+                    hit = self.by_cls_name.get((short, cs.name))
+                    if hit:
+                        add(hit)
+                        resolved = True
+                    # virtual dispatch: overriders in derived classes
+                    for d in self._derived_of(short):
+                        dhit = self.by_cls_name.get((d, cs.name))
+                        if dhit:
+                            add(dhit)
+                            resolved = True
+            if not resolved and cs.receiver in ("", "this") and fn.cls:
+                short = fn.cls.rsplit("::", 1)[-1]
+                hit = self.by_cls_name.get((short, cs.name))
+                if hit:
+                    add(hit)
+                    resolved = True
+            if not resolved and cs.name not in STD_NOISE:
+                # Name-only fallback, denied for std-ish names (.at(),
+                # .find(), ...) where receiver typing failed — a wrong
+                # edge there would drag Engine::at into every vector.
+                cands = self.by_name.get(cs.name, [])
+                if 0 < len(cands) <= MAX_CANDIDATES:
+                    add(cands)
+        self._edges[id(fn)] = out
+        return out
+
+    def reachable(self, root: Function) -> list[Function]:
+        """root plus everything transitively callable from it (DFS order,
+        deterministic)."""
+        seen: set[int] = set()
+        order: list[Function] = []
+        stack = [root]
+        while stack:
+            f = stack.pop()
+            if id(f) in seen:
+                continue
+            seen.add(id(f))
+            order.append(f)
+            for c in reversed(self.callees(f)):
+                if id(c) not in seen:
+                    stack.append(c)
+        return order
+
+
+# -- rule 1: pointer-keyed containers ---------------------------------------
+
+def rule_ptr_key(sm: SourceModel) -> list[Finding]:
+    out = []
+    for c in sm.containers:
+        if not c.ptr_key:
+            continue
+        if sm.allowed("ptr-key", c.file, c.line):
+            continue
+        ordered = "unordered" not in c.template
+        how = ("iteration order follows host pointer values"
+               if ordered else
+               "hashing host pointer values makes bucket order, rehash "
+               "points and therefore iteration order address-dependent")
+        out.append(Finding(
+            rule="ptr-key", file=c.file, line=c.line,
+            message=f"std::{c.template} '{c.name}' keyed on pointer type "
+                    f"'{c.key_type}': {how}. Key on a stable id "
+                    f"(slot index, rank, canonical u64) instead.",
+        ))
+    return out
+
+
+# -- rule 2: unordered iteration leaking order ------------------------------
+
+def _loop_leak(fn: Function, loop) -> str:
+    if loop.writes_nonlocal:
+        return ("writes non-local state "
+                f"({', '.join(sorted(set(loop.writes_nonlocal))[:3])})")
+    if loop.sink_calls:
+        return f"calls mutating sink ({loop.sink_calls[0]})"
+    if loop.has_break or loop.has_return:
+        return "exits early (break/return), so the visit order picks "\
+               "the result"
+    leaked = sorted(loop.wrote_locals & fn.returned_idents)
+    if leaked:
+        return (f"writes local '{leaked[0]}' that flows into the return "
+                "value")
+    return ""
+
+
+def rule_unordered_iter(sm: SourceModel) -> list[Finding]:
+    out = []
+    for fn in sm.functions:
+        for loop in fn.loops:
+            if not loop.unordered:
+                continue
+            leak = _loop_leak(fn, loop)
+            if not leak:
+                continue
+            if sm.allowed("unordered-iter", fn.file, loop.line):
+                continue
+            out.append(Finding(
+                rule="unordered-iter", file=fn.file, line=loop.line,
+                message=f"{fn.qname}: iterates unordered container "
+                        f"'{loop.iterable}' and {leak}; visit order is "
+                        "host-hash-dependent. Iterate an ordered view or "
+                        "make the body order-insensitive.",
+            ))
+    return out
+
+
+# -- rule 3: hot-path allocation proof --------------------------------------
+
+ALLOC_DESC = {
+    "new": "operator new", "make_unique": "std::make_unique",
+    "make_shared": "std::make_shared", "malloc": "malloc-family call",
+    "std_function": "std::function construction",
+}
+
+
+def _alloc_desc(kind: str) -> str:
+    if kind.startswith("growth:"):
+        return f"container growth ({kind.split(':', 1)[1]})"
+    return ALLOC_DESC.get(kind, kind)
+
+
+def rule_hot_alloc(sm: SourceModel,
+                   hot_roots: list[str] | None = None) -> list[Finding]:
+    pats = [re.compile(p) for p in (hot_roots or DEFAULT_HOT_ROOTS)]
+    cg = CallGraph(sm)
+    roots = [f for f in sm.functions
+             if any(p.search(f.qname) for p in pats)]
+    out: list[Finding] = []
+    flagged: set[str] = set()
+    # BFS per root keeping the discovery chain for the report.
+    for root in sorted(roots, key=lambda f: f.qname):
+        chain: dict[int, str] = {id(root): root.qname}
+        work = [root]
+        seen = {id(root)}
+        while work:
+            f = work.pop(0)
+            if "MNS_HOT" not in f.annotations:
+                for a in f.allocs:
+                    if sm.allowed("hot-alloc", f.file, a.line):
+                        continue
+                    key = f"{f.qname}:{a.line}"
+                    if key in flagged:
+                        continue
+                    flagged.add(key)
+                    out.append(Finding(
+                        rule="hot-alloc", file=f.file, line=a.line,
+                        message=f"{f.qname}: {_alloc_desc(a.kind)} "
+                                f"({a.detail}) on a hot path. Pool it, "
+                                "pre-reserve it, or annotate the audited "
+                                "boundary MNS_HOT.",
+                        chain=chain[id(f)]))
+            for c in cg.callees(f):
+                if id(c) not in seen:
+                    seen.add(id(c))
+                    chain[id(c)] = chain[id(f)] + " -> " + c.qname
+                    work.append(c)
+    return out
+
+
+# -- rule 4 (upgraded simlint rule): coroutine ref-capture escape -----------
+
+def _escapes(usage: str) -> str:
+    """Non-empty reason when a lambda usage escapes the current frame."""
+    if usage == "returned":
+        return "is returned from the enclosing function"
+    if usage.startswith("arg:"):
+        callee = usage.split(":", 1)[1]
+        if callee in DEFERRING_CALLEES:
+            return f"is passed to {callee}(), which defers it beyond "\
+                   "the frame"
+    if usage.startswith("assigned:"):
+        target = usage.split(":", 1)[1]
+        if target.endswith("_"):
+            return f"is stored into member '{target}'"
+    return ""
+
+
+def rule_coro_ref_escape(sm: SourceModel) -> list[Finding]:
+    out = []
+    for fn in sm.functions:
+        for lam in fn.lambdas:
+            if not (lam.by_ref and lam.is_coroutine):
+                continue
+            why = _escapes(lam.usage)
+            if not why:
+                continue
+            if sm.allowed("coro-ref-escape", fn.file, lam.line):
+                continue
+            out.append(Finding(
+                rule="coro-ref-escape", file=fn.file, line=lam.line,
+                message=f"{fn.qname}: coroutine lambda captures by "
+                        f"reference [{lam.captures}] and {why}; the "
+                        "frame dies at the first suspension point. "
+                        "Capture by value or pass state as parameters.",
+            ))
+    return out
+
+
+# -- rule 5: PDES-readiness static audit ------------------------------------
+
+def pdes_audit(sm: SourceModel,
+               hot_roots: list[str] | None = None
+               ) -> tuple[list[Finding], list[dict]]:
+    """Findings for mutable shared statics + the full state inventory
+    (for simcheck_state.json), each entry with the event-handler roots
+    that can reach it."""
+    pats = [re.compile(p) for p in (hot_roots or DEFAULT_HOT_ROOTS)]
+    cg = CallGraph(sm)
+    roots = sorted((f for f in sm.functions
+                    if any(p.search(f.qname) for p in pats)),
+                   key=lambda f: f.qname)
+    reach = {r.qname: cg.reachable(r) for r in roots}
+
+    findings: list[Finding] = []
+    inventory: list[dict] = []
+    seen_keys: set[tuple] = set()
+    for sv in sorted(sm.statics, key=lambda s: (s.file, s.line, s.qname)):
+        key = (sv.file, sv.line, sv.qname)
+        if key in seen_keys:
+            continue
+        seen_keys.add(key)
+        reached_by = []
+        for rq, fns in sorted(reach.items()):
+            for f in fns:
+                hits = (f.qname == sv.owner_function or
+                        sv.name in f.idents)
+                if hits:
+                    reached_by.append(rq)
+                    break
+        if sv.is_const:
+            cls = "const-after-init"
+            sev = "info"
+        elif sv.kind == "thread_local":
+            cls = "per-thread"
+            sev = "info"
+        else:
+            cls = "mutable-shared"
+            sev = "error"
+        inventory.append({
+            "name": sv.qname, "file": sv.file, "line": sv.line,
+            "kind": sv.kind, "type": sv.type_str, "class": cls,
+            "reached_by": reached_by,
+        })
+        if sm.allowed("pdes-state", sv.file, sv.line):
+            continue
+        if cls == "mutable-shared":
+            findings.append(Finding(
+                rule="pdes-static", file=sv.file, line=sv.line,
+                message=f"mutable {sv.kind.replace('_', ' ')} "
+                        f"'{sv.qname}' is shared sim state outside any "
+                        "Engine; a partitioned (PDES) run would race or "
+                        "diverge on it. Move it into an engine-owned "
+                        "object, make it const, or thread_local.",
+                chain=", ".join(reached_by)))
+        elif cls == "per-thread":
+            findings.append(Finding(
+                rule="pdes-static", file=sv.file, line=sv.line,
+                severity="info",
+                message=f"thread_local '{sv.qname}' is PDES-safe by "
+                        "partitioning but must stay per-engine if "
+                        "engines ever share a thread.",
+                chain=", ".join(reached_by)))
+    return findings, inventory
+
+
+def run_all(sm: SourceModel, hot_roots: list[str] | None = None
+            ) -> tuple[list[Finding], list[dict]]:
+    findings: list[Finding] = []
+    findings += rule_ptr_key(sm)
+    findings += rule_unordered_iter(sm)
+    findings += rule_hot_alloc(sm, hot_roots)
+    findings += rule_coro_ref_escape(sm)
+    pdes, inventory = pdes_audit(sm, hot_roots)
+    findings += pdes
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings, inventory

@@ -46,9 +46,16 @@ statically:
                   Anything else — spawn() arguments, returns, stored
                   lambdas — is flagged. Pass state as coroutine parameters
                   instead (the `[](Self& self, ...) -> Task<>` idiom).
+                  (tools/simcheck re-checks this same property with scope
+                  analysis over the AST; simlint keeps the fast regex
+                  version so a bare checkout still gates.)
 
-Suppress a finding with an inline comment naming the rule:
+Suppress a finding with a comment naming the rule, either on the finding's
+own line or on the line above it (intervening comment-only lines are
+fine — the allow blesses the next code line):
     foo();  // simlint-allow: wall-clock
+    // simlint-allow: wall-clock
+    foo();
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
 
@@ -56,13 +63,37 @@ from __future__ import annotations
 
 import re
 import sys
+from dataclasses import dataclass, field
 from pathlib import Path
 
 EXTENSIONS = {".hpp", ".cpp", ".h", ".cc", ".cxx"}
 
-# (rule-id, compiled regex, message)
+
+@dataclass(frozen=True)
+class Rule:
+    """One pattern rule plus its directory gating.
+
+    only_dirs:   when non-empty, the rule fires only for files whose path
+                 contains one of these directory names.
+    exempt_dirs: files whose path contains one of these are skipped.
+    """
+    name: str
+    pattern: re.Pattern
+    message: str
+    only_dirs: frozenset[str] = field(default_factory=frozenset)
+    exempt_dirs: frozenset[str] = field(default_factory=frozenset)
+
+    def applies_to(self, path: Path) -> bool:
+        parts = set(path.parts)
+        if self.only_dirs and not (self.only_dirs & parts):
+            return False
+        if self.exempt_dirs & parts:
+            return False
+        return True
+
+
 PATTERN_RULES = [
-    (
+    Rule(
         "wall-clock",
         re.compile(
             r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
@@ -72,7 +103,7 @@ PATTERN_RULES = [
         "wall-clock access in library code; simulated time comes from "
         "sim::Engine::now()",
     ),
-    (
+    Rule(
         "randomness",
         re.compile(
             r"std::random_device"
@@ -80,7 +111,7 @@ PATTERN_RULES = [
         ),
         "unseeded randomness; use the seeded generators in util/rng.hpp",
     ),
-    (
+    Rule(
         "threading",
         re.compile(
             r"std::(thread|jthread|async|launch|mutex|shared_mutex"
@@ -95,8 +126,11 @@ PATTERN_RULES = [
         "threading primitive in simulator code; a simulation is "
         "single-threaded by contract — parallelism belongs between "
         "simulations, in src/sweep/ only",
+        # The one place allowed to touch threads: the between-simulations
+        # sweep runner (see its header for why that stays deterministic).
+        exempt_dirs=frozenset({"sweep"}),
     ),
-    (
+    Rule(
         "stdout",
         re.compile(
             r"std::(cout|cerr|clog)\b"
@@ -106,7 +140,7 @@ PATTERN_RULES = [
         "stdout/stderr output in library code; return data and let "
         "bench/examples/tools print",
     ),
-    (
+    Rule(
         "fault-alloc",
         re.compile(
             r"std::(make_shared|make_unique|function)\b"
@@ -122,43 +156,24 @@ PATTERN_RULES = [
         "pre-seeded util/rng.hpp streams sized at construction — "
         "<random> distributions are not bit-portable across standard "
         "libraries and would break cross-platform determinism",
+        # The chaos layer: packet_verdict / reg_should_fail sit on the
+        # per-packet data path.
+        only_dirs=frozenset({"fault"}),
     ),
-    (
+    Rule(
         "model-alloc",
         re.compile(r"std::(make_shared|function)\b"),
         "type-erased/shared allocation in src/model hot-path code; the "
         "data path runs one pooled state machine per message (raw EventFn "
         "continuations, freelist recycling) — per-message closures or "
         "control-path code must carry an explicit simlint-allow",
+        # The machine-model layer only; MPI devices and apps may use
+        # type-erased closures freely.
+        only_dirs=frozenset({"model"}),
     ),
 ]
 
 ALLOW_RE = re.compile(r"simlint-allow:\s*([\w-]+)")
-
-# The one place allowed to touch threads: the between-simulations sweep
-# runner (see its header for why that preserves determinism).
-THREADING_WHITELIST_DIRS = {"sweep"}
-
-# model-alloc applies only to the machine-model layer (src/model), whose
-# per-message/per-packet path is required to be allocation-free after
-# warm-up. MPI devices and apps may use type-erased closures freely.
-MODEL_ALLOC_DIRS = {"model"}
-
-# fault-alloc applies to the chaos layer (src/fault): packet_verdict /
-# reg_should_fail sit on the per-packet data path.
-FAULT_ALLOC_DIRS = {"fault"}
-
-
-def threading_exempt(path: Path) -> bool:
-    return bool(THREADING_WHITELIST_DIRS.intersection(path.parts))
-
-
-def model_alloc_applies(path: Path) -> bool:
-    return bool(MODEL_ALLOC_DIRS.intersection(path.parts))
-
-
-def fault_alloc_applies(path: Path) -> bool:
-    return bool(FAULT_ALLOC_DIRS.intersection(path.parts))
 
 
 def strip_comments_and_strings(text: str) -> tuple[str, dict[int, set[str]]]:
@@ -166,23 +181,20 @@ def strip_comments_and_strings(text: str) -> tuple[str, dict[int, set[str]]]:
     structure) so rules never fire on prose. Returns the stripped text and
     the per-line suppressions harvested from comments.
 
-    A trailing `// simlint-allow: rule` suppresses its own line; a
-    comment that is the only thing on its line suppresses the line
-    below it. An inline comment must not bless the next line."""
+    A `// simlint-allow: rule` comment suppresses its own line and — so
+    the allow can sit on the line above the finding — the next *code*
+    line below it. Intervening comment-only lines don't break the chain
+    (they are blank after stripping)."""
     out = []
     allows: dict[int, set[str]] = {}
+    pending: list[tuple[int, str]] = []  # (comment line, rule) to forward
     i, n = 0, len(text)
     line = 1
 
-    def record_allow(comment: str, line_no: int, own_line: bool) -> None:
+    def record_allow(comment: str, line_no: int) -> None:
         for m in ALLOW_RE.finditer(comment):
             allows.setdefault(line_no, set()).add(m.group(1))
-            if own_line:
-                allows.setdefault(line_no + 1, set()).add(m.group(1))
-
-    def starts_own_line(pos: int) -> bool:
-        start = text.rfind("\n", 0, pos) + 1
-        return text[start:pos].strip() == ""
+            pending.append((line_no, m.group(1)))
 
     while i < n:
         c = text[i]
@@ -190,7 +202,7 @@ def strip_comments_and_strings(text: str) -> tuple[str, dict[int, set[str]]]:
         if c == "/" and nxt == "/":
             j = text.find("\n", i)
             j = n if j == -1 else j
-            record_allow(text[i:j], line, starts_own_line(i))
+            record_allow(text[i:j], line)
             out.append(" " * (j - i))
             i = j
         elif c == "/" and nxt == "*":
@@ -198,7 +210,7 @@ def strip_comments_and_strings(text: str) -> tuple[str, dict[int, set[str]]]:
             j = n if j == -1 else j + 2
             comment = text[i:j]
             end_line = line + comment.count("\n")
-            record_allow(comment, end_line, starts_own_line(i))
+            record_allow(comment, end_line)
             out.append("".join(ch if ch == "\n" else " " for ch in comment))
             line = end_line
             i = j
@@ -219,7 +231,18 @@ def strip_comments_and_strings(text: str) -> tuple[str, dict[int, set[str]]]:
                 line += 1
             out.append(c)
             i += 1
-    return "".join(out), allows
+
+    stripped = "".join(out)
+    # Forward each allow to the next code line below it (first line that
+    # is non-blank after stripping), so the comment can sit above the
+    # finding — including across a run of explanatory comment lines.
+    stripped_lines = stripped.split("\n")
+    for line_no, rule in pending:
+        for below in range(line_no + 1, len(stripped_lines) + 1):
+            if stripped_lines[below - 1].strip():
+                allows.setdefault(below, set()).add(rule)
+                break
+    return stripped, allows
 
 
 LAMBDA_REF_INTRO_RE = re.compile(r"\[[^\[\]]*&[^\[\]]*\]")
@@ -342,16 +365,12 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
     def allowed(rule: str, line: int) -> bool:
         return rule in allows.get(line, set())
 
+    active = [r for r in PATTERN_RULES if r.applies_to(path)]
     for line_no, line_text in enumerate(stripped.splitlines(), start=1):
-        for rule, pattern, message in PATTERN_RULES:
-            if rule == "threading" and threading_exempt(path):
-                continue
-            if rule == "model-alloc" and not model_alloc_applies(path):
-                continue
-            if rule == "fault-alloc" and not fault_alloc_applies(path):
-                continue
-            if pattern.search(line_text) and not allowed(rule, line_no):
-                findings.append((path, line_no, rule, message))
+        for rule in active:
+            if rule.pattern.search(line_text) and \
+                    not allowed(rule.name, line_no):
+                findings.append((path, line_no, rule.name, rule.message))
 
     for line_no, capture in find_ref_capture_coroutines(stripped):
         if not allowed("coro-ref-capture", line_no):
