@@ -5,6 +5,7 @@
 // a value, it is printed alongside ours.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
@@ -50,6 +51,12 @@ struct Output {
   // plan; the same (seed, spec, workload) always yields the same run.
   std::uint64_t seed = 1;
   fault::FaultPlan faults;  // empty unless --faults was given
+  // --partitions N: PDES partition count for in-run parallelism (see
+  // ClusterConfig::partitions and src/sim/pdes). 1 — the default for
+  // every published artifact — is the sequential engine, byte-identical
+  // to the seed outputs; N > 1 must produce the same bytes, and the
+  // chaos suite enforces it.
+  int partitions = 1;
   void emit(const std::string& title, const util::Table& t) const {
     if (csv) {
       t.print_csv(std::cout);
@@ -71,6 +78,10 @@ inline Output parse_output(int argc, char** argv) {
     out.csv = flags.get_bool("csv", false);
     out.jobs = static_cast<int>(flags.get_int("jobs", 1));
     out.express = flags.get_bool("express", false);
+    out.partitions = static_cast<int>(flags.get_int("partitions", 1));
+    if (out.partitions < 1) {
+      throw std::invalid_argument("--partitions must be >= 1");
+    }
     const bool seed_given = flags.has("seed");
     out.seed = flags.get_uint("seed", 1);
     const std::string spec = flags.get("faults", "");
@@ -137,10 +148,16 @@ inline double run_app(const std::string& name, cluster::Net net,
                       std::size_t nodes, int ppn = 1,
                       cluster::Bus bus = cluster::Bus::kDefault,
                       bool express = false,
-                      const fault::FaultPlan& faults = {}) {
+                      const fault::FaultPlan& faults = {},
+                      int partitions = 1) {
+  // Scaling sweeps (tab02) run clusters smaller than a fixed
+  // --partitions request; clamp here so one flag value covers the whole
+  // sweep. The library itself stays strict (Cluster rejects
+  // partitions > nodes).
+  const int parts = std::min(partitions, static_cast<int>(nodes));
   cluster::ClusterConfig cfg{
       .nodes = nodes, .ppn = ppn, .net = net, .bus = bus,
-      .express = express, .faults = faults};
+      .express = express, .partitions = parts, .faults = faults};
   cluster::Cluster c(cfg);
   const auto& spec = apps::find_app(name);
   if (!spec.ranks_ok(c.ranks())) {

@@ -97,6 +97,13 @@ Cluster::Cluster(const ClusterConfig& cfg)
 
   if (!cfg_.faults.empty()) fabric().set_fault_plan(cfg_.faults);
 
+  // Derive and validate the conservative partition plan up front, so an
+  // impossible --partitions request fails at construction, not mid-run.
+  // The lookahead floor is the fabric's tx wire latency: the one delay
+  // every cross-node interaction must pay before it becomes observable.
+  plan_ = make_partition_plan(static_cast<int>(cfg_.nodes), cfg_.partitions,
+                              fabric().nic_config().tx_wire_latency);
+
   comms_.reserve(mpi_->size());
   for (std::size_t r = 0; r < mpi_->size(); ++r) {
     comms_.push_back(

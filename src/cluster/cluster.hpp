@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "audit/report.hpp"
+#include "cluster/partition.hpp"
 #include "elan/elan_fabric.hpp"
 #include "fault/fault.hpp"
 #include "gm/gm_fabric.hpp"
@@ -59,6 +60,19 @@ struct ClusterConfig {
   // reproducible; turn on for wall-clock speed when bit-exactness across
   // the express toggle is not required.
   bool express = false;
+
+  /// PDES partition count for the run (see src/sim/pdes and
+  /// cluster/partition.hpp). 1 — the default — is the sequential engine,
+  /// byte-identical to every artifact the repo has ever produced. N > 1
+  /// derives and validates the conservative partition plan (block layout,
+  /// lookahead = the fabric's tx wire latency) and records it on the
+  /// cluster; execution stays on the sequential core because MsgFlow
+  /// completion handlers mutate destination-side pipe state directly —
+  /// the migration of those handlers onto the message-passing PDES
+  /// surface is tracked in ROADMAP.md. The *results* contract is already
+  /// enforced: every config is required (and tested) to produce
+  /// bit-identical digests for any partition count.
+  int partitions = 1;
 
   /// Chaos harness (src/fault): deterministic packet drops / corruption,
   /// link flaps, NIC stalls, and registration failures. Empty (the
@@ -113,6 +127,11 @@ class Cluster {
   /// used by the chaos tests to read fault/recovery counters.
   model::NetFabric& fabric();
 
+  /// The validated PDES partition plan for cfg.partitions (block layout;
+  /// lookahead = this fabric's tx wire latency). Always populated — the
+  /// default is the trivial single-partition plan.
+  const PartitionPlan& partition_plan() const { return plan_; }
+
  private:
   ClusterConfig cfg_;
   std::unique_ptr<sim::Engine> eng_;
@@ -127,6 +146,7 @@ class Cluster {
   std::unique_ptr<elan::ElanFabric> elan_;
   std::unique_ptr<mpi::Mpi> mpi_;
   std::vector<std::unique_ptr<mpi::Comm>> comms_;
+  PartitionPlan plan_;
 };
 
 }  // namespace mns::cluster

@@ -1,0 +1,48 @@
+#include "cluster/partition.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace mns::cluster {
+
+sim::pdes::Topology PartitionPlan::to_topology() const {
+  sim::pdes::Topology t;
+  t.nodes = nodes;
+  t.partitions = partitions;
+  t.part_of = part_of;
+  t.lookahead = lookahead;
+  return t;
+}
+
+PartitionPlan make_partition_plan(int nodes, int partitions,
+                                  sim::Time min_link_latency) {
+  if (nodes <= 0) {
+    throw std::invalid_argument("partition plan needs at least one node");
+  }
+  if (partitions < 1 || partitions > nodes) {
+    throw std::invalid_argument(
+        "partitions must be in [1, nodes]; got " +
+        std::to_string(partitions) + " for " + std::to_string(nodes) +
+        " nodes");
+  }
+  if (min_link_latency <= sim::Time::zero()) {
+    throw std::invalid_argument(
+        "conservative lookahead requires a positive minimum link latency");
+  }
+  PartitionPlan plan;
+  plan.nodes = nodes;
+  plan.partitions = partitions;
+  plan.lookahead = min_link_latency;
+  plan.part_of.resize(static_cast<std::size_t>(nodes));
+  plan.sizes.assign(static_cast<std::size_t>(partitions), 0);
+  for (int i = 0; i < nodes; ++i) {
+    // Same block rule as pdes::Topology::blocks: node i -> i*K/nodes.
+    const int p = static_cast<int>(
+        (static_cast<long long>(i) * partitions) / nodes);
+    plan.part_of[static_cast<std::size_t>(i)] = p;
+    ++plan.sizes[static_cast<std::size_t>(p)];
+  }
+  return plan;
+}
+
+}  // namespace mns::cluster

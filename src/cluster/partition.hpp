@@ -1,0 +1,44 @@
+// Node-graph partitioning for the conservative PDES core (src/sim/pdes).
+//
+// A Cluster's node graph is fully connected through one switch, so every
+// cut edge of any partition carries the same latency floor: the fabric's
+// tx wire latency, the time a packet spends on the cable before the
+// destination can observe it. That minimum over all cut edges is the
+// conservative lookahead — a partition may execute up to
+// (peer horizon + lookahead) without waiting, and no layout choice can
+// improve or damage it. The plan is therefore exact, not heuristic:
+// contiguous blocks matching the cluster's block rank placement, with
+// remainder nodes spread over the leading partitions.
+#pragma once
+
+#include <vector>
+
+#include "sim/pdes/pdes.hpp"
+#include "sim/time.hpp"
+
+namespace mns::cluster {
+
+/// A validated assignment of cluster nodes to PDES partitions plus the
+/// lookahead bound derived from the fabric's physics.
+struct PartitionPlan {
+  int nodes = 0;
+  int partitions = 1;
+  std::vector<int> part_of;  // node -> partition (contiguous blocks)
+  std::vector<int> sizes;    // partition -> owned-node count
+  // Minimum latency over all cut edges == the fabric's tx wire latency
+  // (uniform switch fan-out makes every edge the minimum).
+  sim::Time lookahead;
+
+  /// The same plan in the PDES core's vocabulary.
+  sim::pdes::Topology to_topology() const;
+};
+
+/// Block-partition `nodes` cluster nodes into `partitions` groups with
+/// conservative lookahead `min_link_latency`. Throws std::invalid_argument
+/// when the request is structurally impossible (no nodes, partitions
+/// outside [1, nodes], non-positive latency — a zero-latency link would
+/// admit no conservative window at all).
+PartitionPlan make_partition_plan(int nodes, int partitions,
+                                  sim::Time min_link_latency);
+
+}  // namespace mns::cluster

@@ -52,6 +52,7 @@ struct NetFabric::MsgFlow final : Pipe::ClaimOwner {
   bool rto_armed = false;     // retransmit timer pending
   std::uint64_t lost = 0;     // packets lost this attempt (bit per packet)
   std::uint64_t corrupt_mask = 0;  // marked at tx, detected+lost at rx
+  std::uint64_t resend_mask = 0;   // packets a scheduled kResendBatch owes
   std::uint32_t pending = 0;  // packet-machine events currently scheduled
   int attempts = 0;           // resend rounds consumed
   sim::EventId rto_id{};      // cancellable retransmit timer
@@ -108,7 +109,14 @@ struct NetFabric::MsgFlow final : Pipe::ClaimOwner {
     kExLocal,   // express: last byte left sender NIC -> eager completion
     kExDeliver, // express: last byte in remote memory
     kExArm,     // express: packet-0 fetch instant (demotion re-entry point)
-    kRto        // recovery: retransmission timeout fired
+    kRto,       // recovery: retransmission timeout fired
+    // One fused relaunch for a whole resend round (resend_mask holds the
+    // packets). Replaces the contiguous block of same-instant kLaunch
+    // events a round used to schedule: the block occupied consecutive
+    // now-queue slots with nothing interleaved, so collapsing it into a
+    // single event that launches in the same ascending-packet order
+    // preserves the relative order of every event in the run.
+    kResendBatch
   };
 
   static void* word(std::uint8_t kind, std::uint64_t p) {
@@ -239,6 +247,7 @@ void NetFabric::init_flow(MsgFlow& f, NetMsg msg) {
   f.rto_armed = false;
   f.lost = 0;
   f.corrupt_mask = 0;
+  f.resend_mask = 0;
   f.pending = 0;
   f.attempts = 0;
 
@@ -503,6 +512,22 @@ void NetFabric::flow_step(MsgFlow& f, std::uintptr_t w) {
       arm_rto(f);
       break;
 
+    case MsgFlow::kResendBatch: {
+      // Fused resend round: launch every owed packet in ascending order,
+      // exactly the sequence the per-packet kLaunch events produced. The
+      // --pending stands in for each replaced launch event's own firing.
+      std::uint64_t m = std::exchange(f.resend_mask, 0);
+      MNS_AUDIT(m != 0, "resend batch fired with an empty mask");
+      while (m != 0) {
+        const auto q = static_cast<std::uint64_t>(std::countr_zero(m));
+        m &= m - 1;
+        MNS_AUDIT(f.pending > 0, "resend batch with zero pending");
+        --f.pending;
+        sched(MsgFlow::kTx, q, f.tx->reserve(f.pkt_bytes(q)));
+      }
+      break;
+    }
+
     case MsgFlow::kExFetch:
       if (f.demoted) {
         if (--f.stale_events == 0) maybe_release(f);
@@ -621,22 +646,23 @@ sim::Time NetFabric::rto_delay(const MsgFlow& f) const {
 
 void NetFabric::resend_lost(MsgFlow& f) {
   MNS_AUDIT(f.lost != 0, "resend round with an empty lost set");
-  std::uint64_t m = f.lost;
-  f.lost = 0;
+  MNS_AUDIT(f.resend_mask == 0, "overlapping resend rounds");
   // IB RC / Elan resend exactly the lost packets; GM's Go-Back-N window —
   // everything from the first gap onward — is already what the lost set
   // holds, because the receiver rejected the whole post-gap tail.
-  while (m != 0) {
-    const auto p = static_cast<std::uint64_t>(std::countr_zero(m));
-    m &= m - 1;
-    ++packets_retransmitted_;
-    // The retransmitted copy re-crosses the tx stage, so the tx-drain
-    // counter must see it (it was already decremented on the lost pass).
-    ++f.packets_left_tx;
-    ++f.pending;
-    eng_->at(eng_->now(), sim::EventFn(&MsgFlow::thunk, &f,
-                                       MsgFlow::word(MsgFlow::kLaunch, p)));
-  }
+  const auto n = static_cast<std::uint64_t>(std::popcount(f.lost));
+  f.resend_mask = f.lost;
+  f.lost = 0;
+  packets_retransmitted_ += n;
+  // The retransmitted copies re-cross the tx stage, so the tx-drain
+  // counter must see them (already decremented on the lost pass). The
+  // pending count carries the batch event standing in for the launches.
+  f.packets_left_tx += n;
+  f.pending += static_cast<std::uint32_t>(n);
+  // One event relaunches the whole round (see Kind::kResendBatch); a
+  // 64-packet Go-Back-N storm schedules 1 now-queue entry instead of 64.
+  eng_->at(eng_->now(), sim::EventFn(&MsgFlow::thunk, &f,
+                                     MsgFlow::word(MsgFlow::kResendBatch, 0)));
 }
 
 void NetFabric::fail_flow(MsgFlow& f) {

@@ -63,8 +63,12 @@ void Engine::drop_processes() {
   }
   // Pending event payloads capture handles into the frames just
   // destroyed; drop them unrun (~EventFn reclaims boxed closures).
+#if defined(MNS_EVENT_QUEUE_LADDER)
+  ladder_.clear();
+#else
   heap_keys_.clear();
   heap_slots_.clear();
+#endif
   slab_.clear();
   slab_free_.clear();
   slab_seq_.clear();
@@ -80,6 +84,37 @@ void Engine::schedule_future(std::int64_t at_ps, EventFn fn) {
   }
   heap_push(Key::make(at_ps, next_seq_++), std::move(fn));
 }
+
+#if defined(MNS_EVENT_QUEUE_LADDER)
+
+// Ladder policy (-DMNS_EVENT_QUEUE=ladder): same slab parking and slot
+// recycling, different key ordering structure. Keys are unique, so the
+// pop sequence is identical to the heap's and results are bit-identical.
+MNS_HOT std::uint32_t Engine::heap_push(Key key, EventFn fn) {
+  std::uint32_t slot;
+  if (!slab_free_.empty()) {
+    slot = slab_free_.back();
+    slab_free_.pop_back();
+    slab_[slot] = std::move(fn);
+    slab_seq_[slot] = key.seq();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(std::move(fn));
+    slab_seq_.push_back(key.seq());
+  }
+  ladder_.push(key, slot);
+  return slot;
+}
+
+MNS_HOT EventFn Engine::heap_pop(Key& key) {
+  const auto e = ladder_.pop();
+  key = e.key;
+  EventFn top = std::move(slab_[e.slot]);
+  slab_free_.push_back(e.slot);
+  return top;
+}
+
+#else  // 4-ary heap (default)
 
 // MNS_HOT: slab and heap arrays grow amortized and reuse free slots; in
 // steady state pushes recycle capacity without touching the allocator.
@@ -170,6 +205,8 @@ MNS_HOT EventFn Engine::heap_pop(Key& key) {
   return top;
 }
 
+#endif  // MNS_EVENT_QUEUE_LADDER
+
 // MNS_HOT: roots_ grows amortized; slots are compacted on completion and
 // capacity persists for the lifetime of the engine.
 MNS_HOT void Engine::spawn(Task<> t, bool daemon) {
@@ -187,7 +224,7 @@ MNS_HOT void Engine::spawn(Task<> t, bool daemon) {
 bool Engine::step() {
  again:
   const bool have_now = nowq_head_ < nowq_.size();
-  if (!have_now && heap_keys_.empty()) return false;
+  if (!have_now && queue_empty()) return false;
   if (events_processed_ >= event_limit_) throw EventLimitError(event_limit_);
   std::int64_t at_ps;
   std::uint64_t seq;
@@ -196,10 +233,11 @@ bool Engine::step() {
   // heap event competes only when it carries the same timestamp with a
   // smaller seq (scheduled for this instant before the clock reached it).
   bool take_heap = !have_now;
-  if (have_now && !heap_keys_.empty() &&
-      heap_keys_.front().at_ps() == now_.count_ps() &&
-      heap_keys_.front().seq() < nowq_[nowq_head_].seq) {
-    take_heap = true;
+  if (have_now && !queue_empty()) {
+    const Key top = queue_top_key();
+    if (top.at_ps() == now_.count_ps() && top.seq() < nowq_[nowq_head_].seq) {
+      take_heap = true;
+    }
   }
   if (take_heap) {
     Key key{};
@@ -255,10 +293,12 @@ void Engine::run() {
 
 bool Engine::run_until(Time deadline) {
   for (;;) {
-    const bool have_now = nowq_head_ < nowq_.size();
-    if (!have_now && heap_keys_.empty()) return true;
-    const std::int64_t next_at =
-        have_now ? now_.count_ps() : heap_keys_.front().at_ps();
+    // next_event_at_ps() purges cancelled tombstones off the queue top,
+    // so the deadline test sees the time of an event that will actually
+    // run — a tombstone at t <= deadline must not admit a live event
+    // beyond it.
+    const std::int64_t next_at = next_event_at_ps();
+    if (next_at == INT64_MAX) return true;
     if (next_at > deadline.count_ps()) return false;
     step();
     if (failure_) {
@@ -267,6 +307,30 @@ bool Engine::run_until(Time deadline) {
       std::rethrow_exception(e);
     }
   }
+}
+
+std::int64_t Engine::next_event_at_ps() {
+  if (nowq_head_ < nowq_.size()) return now_.count_ps();
+  for (;;) {
+    if (queue_empty()) return INT64_MAX;
+    if (slab_[queue_top_slot()]) return queue_top_key().at_ps();
+    // Cancelled tombstone on top: discard it so the reported time names
+    // an event that will actually run (same bookkeeping as step()).
+    Key key{};
+    (void)heap_pop(key);
+    MNS_AUDIT(tombstones_ > 0, "tombstone popped with zero outstanding");
+    --tombstones_;
+  }
+}
+
+bool Engine::step_one() {
+  const bool ran = step();
+  if (failure_) {
+    auto e = failure_;
+    failure_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  return ran;
 }
 
 void Engine::retire(std::coroutine_handle<> h) {

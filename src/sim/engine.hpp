@@ -35,6 +35,10 @@
 #include "sim/time.hpp"
 #include "util/annotations.hpp"
 
+#if defined(MNS_EVENT_QUEUE_LADDER)
+#include "sim/ladder_queue.hpp"
+#endif
+
 namespace mns::audit {
 class AuditReport;
 }
@@ -175,6 +179,30 @@ class EventFn {
   void* b_ = nullptr;
 };
 
+/// Event ordering key: (at, seq) packed into one 128-bit integer so the
+/// ordering test is a single unsigned compare (cmp/sbb, no second branch)
+/// in the queue's compare loops. at_ps is sign-flipped into the high half
+/// so the unsigned order matches the signed (at, seq) lexicographic
+/// order. Public so alternative queue policies (sim/ladder_queue.hpp) can
+/// order the same keys; payloads stay in the engine's slab either way.
+struct EventKey {
+  unsigned __int128 packed;
+  static EventKey make(std::int64_t at_ps, std::uint64_t seq) noexcept {
+    const auto hi = static_cast<std::uint64_t>(at_ps) ^
+                    (std::uint64_t{1} << 63);
+    return EventKey{(static_cast<unsigned __int128>(hi) << 64) | seq};
+  }
+  std::int64_t at_ps() const noexcept {
+    return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(packed >> 64) ^
+        (std::uint64_t{1} << 63));
+  }
+  std::uint64_t seq() const noexcept {
+    return static_cast<std::uint64_t>(packed);
+  }
+  bool before(const EventKey& o) const noexcept { return packed < o.packed; }
+};
+
 /// Handle to a cancellable event (see Engine::at_cancellable). The pair
 /// (slot, seq) is ABA-safe: seq is globally unique, so a handle whose slot
 /// has been recycled for a later event simply fails to cancel.
@@ -271,8 +299,12 @@ class Engine {
   /// Pre-size the event heap for at least `n` concurrently pending events
   /// (Cluster sizes this from the topology: ranks, NICs, channel depth).
   void reserve_events(std::size_t n) {
+#if defined(MNS_EVENT_QUEUE_LADDER)
+    ladder_.reserve(n);
+#else
     heap_keys_.reserve(n);
     heap_slots_.reserve(n);
+#endif
     slab_.reserve(n);
   }
 
@@ -312,8 +344,21 @@ class Engine {
   /// Pending *live* events: cancelled tombstones still parked in the heap
   /// are excluded (they will be discarded, never run).
   std::size_t pending_events() const {
-    return heap_keys_.size() - tombstones_ + (nowq_.size() - nowq_head_);
+    return queue_size() - tombstones_ + (nowq_.size() - nowq_head_);
   }
+
+  /// Earliest pending live event time in picoseconds, or INT64_MAX when
+  /// the queue is empty. Purges cancelled tombstones off the queue top
+  /// (without counting events or advancing the clock), so the answer
+  /// names an event that will actually run. This is the PDES executor's
+  /// local-virtual-time probe (sim/pdes/).
+  std::int64_t next_event_at_ps();
+
+  /// Pop and run exactly one event (the step loop of run(), exposed for
+  /// external schedulers that interleave event execution with
+  /// cross-partition delivery). Returns false if the queue is empty.
+  /// Rethrows the first failure escaping a process.
+  bool step_one();
 
   /// Abort run()/run_until() with EventLimitError after this many events
   /// (default: effectively unlimited).
@@ -340,27 +385,7 @@ class Engine {
   struct Root;  // root coroutine wrapper; public for the factory coroutine
 
  private:
-  // Heap key: (at, seq) packed into one 128-bit integer so the ordering
-  // test is a single unsigned compare (cmp/sbb, no second branch) in the
-  // sift loops. at_ps is sign-flipped into the high half so the unsigned
-  // order matches the signed (at, seq) lexicographic order.
-  struct Key {
-    unsigned __int128 packed;
-    static Key make(std::int64_t at_ps, std::uint64_t seq) noexcept {
-      const auto hi = static_cast<std::uint64_t>(at_ps) ^
-                      (std::uint64_t{1} << 63);
-      return Key{(static_cast<unsigned __int128>(hi) << 64) | seq};
-    }
-    std::int64_t at_ps() const noexcept {
-      return static_cast<std::int64_t>(
-          static_cast<std::uint64_t>(packed >> 64) ^
-          (std::uint64_t{1} << 63));
-    }
-    std::uint64_t seq() const noexcept {
-      return static_cast<std::uint64_t>(packed);
-    }
-    bool before(const Key& o) const noexcept { return packed < o.packed; }
-  };
+  using Key = EventKey;
   // Now-queue entry: the timestamp is implicitly now(), only the seq
   // tie-break is needed to interleave with equal-time heap events.
   struct NowEvent {
@@ -372,10 +397,50 @@ class Engine {
   std::uint32_t heap_push(Key key, EventFn fn);
   EventFn heap_pop(Key& key);
 
+  // Queue-policy seam: both policies order the same unique keys, so the
+  // pop sequence — and every simulated result — is policy-invariant.
+  bool queue_empty() const noexcept {
+#if defined(MNS_EVENT_QUEUE_LADDER)
+    return ladder_.empty();
+#else
+    return heap_keys_.empty();
+#endif
+  }
+  std::size_t queue_size() const noexcept {
+#if defined(MNS_EVENT_QUEUE_LADDER)
+    return ladder_.size();
+#else
+    return heap_keys_.size();
+#endif
+  }
+  // Precondition: !queue_empty().
+  Key queue_top_key() {
+#if defined(MNS_EVENT_QUEUE_LADDER)
+    return ladder_.top().key;
+#else
+    return heap_keys_.front();
+#endif
+  }
+  // Precondition: !queue_empty().
+  std::uint32_t queue_top_slot() {
+#if defined(MNS_EVENT_QUEUE_LADDER)
+    return ladder_.top().slot;
+#else
+    return heap_slots_.front();
+#endif
+  }
+
   bool step();  // pop and run one event; false if queue empty
   void retire(std::coroutine_handle<> h);  // process done: reclaim its frame
   void process_failed(std::exception_ptr e);
 
+#if defined(MNS_EVENT_QUEUE_LADDER)
+  // Alternative future-event queue policy (-DMNS_EVENT_QUEUE=ladder): a
+  // two-rung ladder ordering the same unique (at, seq) keys, so the pop
+  // sequence — and therefore every simulated result — is bit-identical
+  // to the heap. Payloads stay in the slab below in both policies.
+  LadderQueue<Key> ladder_;
+#else
   // The future-event 4-ary min-heap, split structure-of-arrays style: the
   // sift loops compare only keys, so the traversal walks a dense 16-byte
   // array (100k pending events = 1.6 MB of keys) instead of dragging the
@@ -386,6 +451,7 @@ class Engine {
   // cache-warm slab entry.
   std::vector<Key> heap_keys_;
   std::vector<std::uint32_t> heap_slots_;
+#endif
   std::vector<EventFn> slab_;
   std::vector<std::uint32_t> slab_free_;
   // Per-slot seq stamp of the event currently parked there; lets cancel()

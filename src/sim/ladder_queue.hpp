@@ -1,0 +1,110 @@
+// Two-rung ladder (calendar-family) event queue: a compile-time
+// alternative to the engine's 4-ary heap (-DMNS_EVENT_QUEUE=ladder).
+//
+// Discrete-event workloads push mostly *future* events and pop in time
+// order, so the classic ladder/calendar observation applies: keep a small
+// sorted "near" rung that pops from its tail in O(1), and an unsorted
+// "far" rung that absorbs pushes beyond the near horizon in O(1). When
+// the near rung drains, the whole far rung is promoted with one sort
+// (amortized O(log n) per event, with a far better constant than a heap
+// sift when the horizon is deep). Pushes landing inside the near horizon
+// pay a sorted insert — rare for the engine's traffic, where same-instant
+// events take the now-queue and timers land far in the future.
+//
+// The structure stores the same (key, slab-slot) pairs the heap does, so
+// slab recycling, EventId cancellation (tombstones pop through it
+// unchanged) and the (time, seq) determinism contract are untouched: keys
+// are unique (seq tie-break), so any correct priority queue pops the
+// exact same sequence and simulation results are bit-identical across
+// queue policies.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace mns::sim {
+
+template <class Key>
+class LadderQueue {
+ public:
+  struct Entry {
+    Key key;
+    std::uint32_t slot;
+  };
+
+  bool empty() const noexcept { return near_.empty() && far_.empty(); }
+  std::size_t size() const noexcept { return near_.size() + far_.size(); }
+
+  /// MNS_HOT: warm-up-only growth — both rungs pre-reserve once and keep
+  /// their capacity for the run.
+  MNS_HOT void reserve(std::size_t n) {
+    near_.reserve(n);
+    far_.reserve(n);
+  }
+
+  void clear() noexcept {
+    near_.clear();
+    far_.clear();
+    have_boundary_ = false;
+  }
+
+  /// MNS_HOT: rung push_back/insert grow amortized — capacity is retained
+  /// across pops (pop_back never shrinks) and promote() only swaps the
+  /// rungs, so steady state recycles the same storage, like the engine's
+  /// heap arrays.
+  MNS_HOT void push(Key key, std::uint32_t slot) {
+    if (!have_boundary_) {
+      // First event after empty: it alone defines the near horizon, so
+      // a monotone stream of future pushes goes straight to the far rung.
+      boundary_ = key;
+      have_boundary_ = true;
+      near_.push_back(Entry{key, slot});
+      return;
+    }
+    if (!key.before(boundary_)) {  // key >= boundary: beyond the horizon
+      far_.push_back(Entry{key, slot});
+      return;
+    }
+    // Inside the near horizon: sorted insert (descending, min at back).
+    const auto it = std::upper_bound(
+        near_.begin(), near_.end(), key,
+        [](const Key& k, const Entry& e) { return e.key.before(k); });
+    near_.insert(it, Entry{key, slot});
+  }
+
+  /// Minimum entry; promotes the far rung first if the near rung drained.
+  const Entry& top() {
+    if (near_.empty()) promote();
+    return near_.back();
+  }
+
+  Entry pop() {
+    if (near_.empty()) promote();
+    Entry e = near_.back();
+    near_.pop_back();
+    return e;
+  }
+
+ private:
+  void promote() {
+    // near_ is empty and far_ is not (callers check emptiness): the far
+    // rung becomes the new near rung with one descending sort, and its
+    // maximum becomes the new horizon.
+    near_.swap(far_);
+    std::sort(near_.begin(), near_.end(),
+              [](const Entry& a, const Entry& b) { return b.key.before(a.key); });
+    boundary_ = near_.front().key;
+    have_boundary_ = true;
+  }
+
+  std::vector<Entry> near_;  // sorted descending by key; back() is the min
+  std::vector<Entry> far_;   // unsorted; every key >= boundary_
+  Key boundary_{};           // >= every near key once have_boundary_
+  bool have_boundary_ = false;
+};
+
+}  // namespace mns::sim

@@ -1,0 +1,491 @@
+#include "sim/pdes/pdes.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace mns::sim::pdes {
+
+namespace {
+
+constexpr std::int64_t kInf = INT64_MAX;
+
+std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  return a >= kInf - b ? kInf : a + b;
+}
+
+// A timestamped cross-partition message. The ordering key
+// (when, src_node, send_idx) is a pure function of the sending node's
+// deterministic history — never of the partition layout — which is what
+// makes the delivery order partition-invariant. Trivially copyable: the
+// payload is one data word, interpreted by the destination node's
+// registered handler on the destination's own thread.
+struct Msg {
+  std::int64_t when_ps = 0;
+  std::int32_t src_node = 0;
+  std::int32_t dst_node = 0;
+  std::uint64_t send_idx = 0;
+  std::uint64_t word = 0;
+};
+
+// "a after b" comparator: std::push_heap/pop_heap build a max-heap, so
+// inverting the order yields a min-heap popping (when, src, idx) order.
+struct MsgAfter {
+  bool operator()(const Msg& a, const Msg& b) const noexcept {
+    if (a.when_ps != b.when_ps) return a.when_ps > b.when_ps;
+    if (a.src_node != b.src_node) return a.src_node > b.src_node;
+    return a.send_idx > b.send_idx;
+  }
+};
+
+}  // namespace
+
+Topology Topology::blocks(int nodes, int partitions, Time lookahead) {
+  Topology t;
+  t.nodes = nodes;
+  t.partitions = partitions;
+  t.lookahead = lookahead;
+  t.part_of.resize(static_cast<std::size_t>(nodes > 0 ? nodes : 0));
+  if (nodes > 0 && partitions > 0) {
+    for (int i = 0; i < nodes; ++i) {
+      t.part_of[static_cast<std::size_t>(i)] =
+          static_cast<int>((static_cast<std::int64_t>(i) * partitions) /
+                           nodes);
+    }
+  }
+  t.validate();
+  return t;
+}
+
+void Topology::validate() const {
+  if (nodes <= 0) throw std::invalid_argument("pdes: topology needs nodes");
+  if (partitions <= 0 || partitions > nodes) {
+    throw std::invalid_argument(
+        "pdes: partitions must be in [1, nodes], got " +
+        std::to_string(partitions) + " for " + std::to_string(nodes) +
+        " nodes");
+  }
+  if (part_of.size() != static_cast<std::size_t>(nodes)) {
+    throw std::invalid_argument("pdes: part_of must map every node");
+  }
+  std::vector<bool> used(static_cast<std::size_t>(partitions), false);
+  for (int p : part_of) {
+    if (p < 0 || p >= partitions) {
+      throw std::invalid_argument("pdes: node mapped to partition " +
+                                  std::to_string(p) + " out of range");
+    }
+    used[static_cast<std::size_t>(p)] = true;
+  }
+  for (int q = 0; q < partitions; ++q) {
+    if (!used[static_cast<std::size_t>(q)]) {
+      throw std::invalid_argument("pdes: partition " + std::to_string(q) +
+                                  " owns no nodes");
+    }
+  }
+  if (lookahead <= Time::zero()) {
+    throw std::invalid_argument(
+        "pdes: lookahead must be positive (the conservative window is the "
+        "minimum link latency; zero admits no parallel progress)");
+  }
+}
+
+std::uint64_t Result::digest() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t w) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (w >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const Emission& e : emissions) {
+    mix(static_cast<std::uint64_t>(e.at_ps));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.node)));
+    mix(e.idx);
+    mix(e.word);
+  }
+  mix(static_cast<std::uint64_t>(end_ps));
+  return h;
+}
+
+// The runtime: per-partition state, channels, the LBTS protocol and the
+// worker loop. One Executor per run(); partitions index into dense
+// arrays sized at construction, before any worker starts.
+class Executor {
+ public:
+  Executor(const Topology& topo, std::uint64_t event_limit)
+      : topo_(topo),
+        limit_(event_limit),
+        parts_(static_cast<std::size_t>(topo.partitions)),
+        idle_(static_cast<std::size_t>(topo.partitions), false),
+        errors_(static_cast<std::size_t>(topo.partitions)),
+        send_idx_(static_cast<std::size_t>(topo.nodes), 0),
+        emit_idx_(static_cast<std::size_t>(topo.nodes), 0),
+        handlers_(static_cast<std::size_t>(topo.nodes)) {
+    const int k = topo_.partitions;
+    chan_.resize(static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
+    for (auto& c : chan_) c = std::make_unique<Channel>();
+    for (int n = 0; n < topo_.nodes; ++n) {
+      parts_[static_cast<std::size_t>(topo_.part_of[static_cast<std::size_t>(
+                 n)])]
+          .owned.push_back(n);
+    }
+  }
+
+  Result run(const Build& build) {
+    const int k = topo_.partitions;
+    // Workers own their Engine for its whole lifecycle (construction,
+    // processing, destruction) so coroutine frames allocate and free on
+    // one thread's frame pool. Partition 0 runs on the caller; for
+    // k == 1 that means no thread is created at all and the executor is
+    // the sequential engine plus the (empty-channel) drain discipline —
+    // the same code path the parallel runs must match bit-for-bit.
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(k > 1 ? k - 1 : 0));
+    for (int p = 1; p < k; ++p) {
+      pool.emplace_back([this, p, &build] { worker(p, build); });
+    }
+    worker(0, build);
+    for (auto& th : pool) th.join();
+
+    for (std::size_t p = 0; p < errors_.size(); ++p) {
+      if (errors_[p]) std::rethrow_exception(errors_[p]);
+    }
+
+    Result r;
+    std::size_t total = 0;
+    for (const Part& part : parts_) total += part.emissions.size();
+    r.emissions.reserve(total);
+    for (Part& part : parts_) {
+      r.emissions.insert(r.emissions.end(),
+                         std::make_move_iterator(part.emissions.begin()),
+                         std::make_move_iterator(part.emissions.end()));
+      r.end_ps = std::max(r.end_ps, part.end_ps);
+      r.events += part.events;
+      r.messages += part.messages;
+      r.delivery_batches += part.batches;
+    }
+    // The merge rule: (time, node, per-node index). Every component is
+    // partition-invariant, and (node, idx) pairs are unique, so this
+    // order is total and identical for every partition count.
+    std::sort(r.emissions.begin(), r.emissions.end(),
+              [](const Emission& a, const Emission& b) {
+                if (a.at_ps != b.at_ps) return a.at_ps < b.at_ps;
+                if (a.node != b.node) return a.node < b.node;
+                return a.idx < b.idx;
+              });
+    return r;
+  }
+
+  void send(Context& ctx, int src, int dst, Time when, std::uint64_t word) {
+    if (src < 0 || src >= topo_.nodes || dst < 0 || dst >= topo_.nodes) {
+      throw std::logic_error("pdes: send with node out of range");
+    }
+    if (topo_.part_of[static_cast<std::size_t>(src)] != ctx.partition()) {
+      throw std::logic_error(
+          "pdes: send from a node this partition does not own");
+    }
+    const std::int64_t now_ps = ctx.engine().now().count_ps();
+    const std::int64_t when_ps = when.count_ps();
+    if (when_ps < sat_add(now_ps, topo_.lookahead.count_ps())) {
+      // Enforced for *every* pair, intra-partition included, so whether
+      // a workload is legal never depends on the layout.
+      throw std::logic_error(
+          "pdes: send violates lookahead (when < now + lookahead)");
+    }
+    Msg m;
+    m.when_ps = when_ps;
+    m.src_node = src;
+    m.dst_node = dst;
+    m.send_idx = send_idx_[static_cast<std::size_t>(src)]++;
+    m.word = word;
+    const int p = ctx.partition();
+    const int q = topo_.part_of[static_cast<std::size_t>(dst)];
+    Part& mine = parts_[static_cast<std::size_t>(p)];
+    if (q == p) {
+      mine.pending.push_back(m);
+      std::push_heap(mine.pending.begin(), mine.pending.end(), MsgAfter{});
+      return;
+    }
+    // sent_ is counted before the push: the termination check treats
+    // sent != received as "message still in motion".
+    sent_.fetch_add(1, std::memory_order_seq_cst);
+    Channel& ch = channel(p, q);
+    std::lock_guard<std::mutex> g(ch.mu);
+    if (when_ps < ch.min_when.load(std::memory_order_seq_cst)) {
+      ch.min_when.store(when_ps, std::memory_order_seq_cst);
+    }
+    ch.buf.push_back(m);
+  }
+
+  void on_message(Context& ctx, int node, MsgHandler h) {
+    if (node < 0 || node >= topo_.nodes ||
+        topo_.part_of[static_cast<std::size_t>(node)] != ctx.partition()) {
+      throw std::logic_error(
+          "pdes: on_message for a node this partition does not own");
+    }
+    handlers_[static_cast<std::size_t>(node)] = std::move(h);
+  }
+
+  void emit(Context& ctx, int node, std::uint64_t word) {
+    if (node < 0 || node >= topo_.nodes ||
+        topo_.part_of[static_cast<std::size_t>(node)] != ctx.partition()) {
+      throw std::logic_error(
+          "pdes: emit for a node this partition does not own");
+    }
+    Part& mine = parts_[static_cast<std::size_t>(ctx.partition())];
+    Emission e;
+    e.at_ps = ctx.engine().now().count_ps();
+    e.node = node;
+    e.idx = emit_idx_[static_cast<std::size_t>(node)]++;
+    e.word = word;
+    mine.emissions.push_back(e);
+  }
+
+ private:
+  struct Channel {
+    std::mutex mu;
+    std::vector<Msg> buf;
+    // Minimum timestamp buffered in-flight (kInf when empty): the LBTS
+    // scan reads this so a message between "pushed" and "drained" is
+    // never invisible.
+    std::atomic<std::int64_t> min_when{kInf};
+  };
+
+  struct Part {
+    // Owner-thread state -------------------------------------------------
+    std::vector<Msg> pending;  // min-heap by (when, src, idx)
+    std::vector<Emission> emissions;
+    std::vector<int> owned;  // node ids, ascending (built before workers)
+    std::int64_t end_ps = 0;
+    std::uint64_t events = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t batches = 0;
+    // Published state ----------------------------------------------------
+    // Earliest unprocessed event, local or pending (kInf when drained).
+    // Written by the owner only; read by every LBTS scan.
+    std::atomic<std::int64_t> known{0};
+  };
+
+  Channel& channel(int from, int to) {
+    return *chan_[static_cast<std::size_t>(from) *
+                      static_cast<std::size_t>(topo_.partitions) +
+                  static_cast<std::size_t>(to)];
+  }
+
+  void worker(int p, const Build& build) {
+    try {
+      Engine eng;
+      eng.set_event_limit(limit_);
+      Context ctx;
+      ctx.exec_ = this;
+      ctx.eng_ = &eng;
+      ctx.part_ = p;
+      ctx.owned_ = parts_[static_cast<std::size_t>(p)].owned;
+      build(ctx);
+      loop(ctx, eng);
+      if (!abort_.load(std::memory_order_acquire) &&
+          eng.live_processes() > 0) {
+        // Global quiescence with live non-daemon processes: the same
+        // deadlock the sequential run() reports.
+        throw DeadlockError(eng.live_processes());
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> g(term_mu_);
+      errors_[static_cast<std::size_t>(p)] = std::current_exception();
+      abort_.store(true, std::memory_order_release);
+    }
+  }
+
+  void loop(Context& ctx, Engine& eng) {
+    const int p = ctx.partition();
+    Part& mine = parts_[static_cast<std::size_t>(p)];
+    const int k = topo_.partitions;
+    const std::int64_t la = topo_.lookahead.count_ps();
+    bool is_idle = false;
+    for (;;) {
+      if (abort_.load(std::memory_order_acquire)) return;
+      if (done_.load(std::memory_order_acquire)) break;
+
+      // LBTS: scan channel in-flight minima *before* the known horizons
+      // (a drain lowers the receiver's horizon before clearing the
+      // channel minimum, so this order never misses a message), then
+      // safe = min(everything) + lookahead.
+      std::int64_t m = kInf;
+      if (k > 1) {
+        for (const auto& ch : chan_) {
+          m = std::min(m, ch->min_when.load(std::memory_order_seq_cst));
+        }
+        for (const Part& part : parts_) {
+          m = std::min(m, part.known.load(std::memory_order_seq_cst));
+        }
+      }
+      const std::int64_t safe = sat_add(m, la);
+
+      if (k > 1) drain(p, is_idle);
+
+      // Execute everything strictly before the safe time, interleaving
+      // channel deliveries with engine events: all deliveries for time t
+      // are injected (as one batch, in (when, src, idx) order) before
+      // the first event at t runs — the partition-invariant moment.
+      bool progressed = false;
+      for (;;) {
+        const std::int64_t t_local = eng.next_event_at_ps();
+        const std::int64_t t_chan =
+            mine.pending.empty() ? kInf : mine.pending.front().when_ps;
+        const std::int64_t t = std::min(t_local, t_chan);
+        if (t >= safe) break;
+        if (t_chan <= t_local) {
+          deliver_batch(ctx, mine, eng, t_chan);
+        } else {
+          eng.step_one();
+        }
+        progressed = true;
+        if (abort_.load(std::memory_order_relaxed)) return;
+      }
+      mine.events = eng.events_processed();
+      mine.end_ps = std::max(mine.end_ps, eng.now().count_ps());
+
+      // Publish the new horizon (write-once-per-round; owner-only).
+      const std::int64_t horizon =
+          std::min(eng.next_event_at_ps(),
+                   mine.pending.empty() ? kInf : mine.pending.front().when_ps);
+      mine.known.store(horizon, std::memory_order_seq_cst);
+
+      if (horizon == kInf) {
+        // Quiescent: flag it and test global termination. Idle flags only
+        // change under term_mu_, sends count before the channel push and
+        // drains clear the flag before counting the receive, so
+        // "all idle and sent == received" can only be observed when no
+        // message can ever wake anyone again.
+        std::lock_guard<std::mutex> g(term_mu_);
+        if (!is_idle) {
+          idle_[static_cast<std::size_t>(p)] = true;
+          is_idle = true;
+        }
+        if (std::all_of(idle_.begin(), idle_.end(),
+                        [](bool b) { return b; }) &&
+            sent_.load(std::memory_order_seq_cst) ==
+                received_.load(std::memory_order_seq_cst)) {
+          done_.store(true, std::memory_order_release);
+          break;
+        }
+      }
+      if (!progressed) std::this_thread::yield();
+    }
+  }
+
+  void drain(int p, bool& is_idle) {
+    Part& mine = parts_[static_cast<std::size_t>(p)];
+    const int k = topo_.partitions;
+    std::vector<Msg> got;
+    for (int q = 0; q < k; ++q) {
+      if (q == p) continue;
+      Channel& ch = channel(q, p);
+      if (ch.min_when.load(std::memory_order_seq_cst) == kInf) continue;
+      got.clear();
+      {
+        std::lock_guard<std::mutex> g(ch.mu);
+        got.swap(ch.buf);
+        std::int64_t mn = kInf;
+        for (const Msg& msg : got) mn = std::min(mn, msg.when_ps);
+        // Take responsibility for the drained messages *before* the
+        // channel forgets them: lower our horizon first, then clear the
+        // in-flight minimum (see the LBTS scan order).
+        if (mn < mine.known.load(std::memory_order_seq_cst)) {
+          mine.known.store(mn, std::memory_order_seq_cst);
+        }
+        ch.min_when.store(kInf, std::memory_order_seq_cst);
+      }
+      if (got.empty()) continue;
+      if (is_idle) {
+        std::lock_guard<std::mutex> g(term_mu_);
+        idle_[static_cast<std::size_t>(p)] = false;
+        is_idle = false;
+      }
+      received_.fetch_add(got.size(), std::memory_order_seq_cst);
+      for (const Msg& msg : got) {
+        mine.pending.push_back(msg);
+        std::push_heap(mine.pending.begin(), mine.pending.end(), MsgAfter{});
+      }
+    }
+  }
+
+  void dispatch(Context& ctx, const Msg& m) {
+    const MsgHandler& h = handlers_[static_cast<std::size_t>(m.dst_node)];
+    if (!h) {
+      throw std::logic_error("pdes: message for node " +
+                             std::to_string(m.dst_node) +
+                             " with no registered handler");
+    }
+    h(ctx, m.dst_node, m.word);
+  }
+
+  // Pop every pending delivery at time t (the heap yields them in
+  // (when, src, idx) order) and inject them as ONE engine event. The
+  // engine assigns a drained group contiguous seqs either way, so fusing
+  // them cannot reorder anything — it just replaces n heap sifts with
+  // one (per-link event batching on the delivery path).
+  void deliver_batch(Context& ctx, Part& mine, Engine& eng,
+                     std::int64_t t) {
+    std::vector<Msg> batch;
+    while (!mine.pending.empty() && mine.pending.front().when_ps == t) {
+      std::pop_heap(mine.pending.begin(), mine.pending.end(), MsgAfter{});
+      batch.push_back(mine.pending.back());
+      mine.pending.pop_back();
+    }
+    mine.messages += batch.size();
+    mine.batches += 1;
+    Context* cp = &ctx;  // outlives every event (lives through the loop)
+    eng.at(Time::ps(t),
+           EventFn::make([this, cp, batch = std::move(batch)]() mutable {
+             for (const Msg& m : batch) dispatch(*cp, m);
+           }));
+  }
+
+  const Topology topo_;
+  const std::uint64_t limit_;
+  std::vector<Part> parts_;
+  std::vector<std::unique_ptr<Channel>> chan_;  // [from * K + to]
+  // Termination protocol (see loop()/drain()). Idle flags are guarded by
+  // term_mu_; the message counters are seq-cst atomics ordered against
+  // the channel operations.
+  std::mutex term_mu_;
+  std::vector<bool> idle_;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> abort_{false};
+  std::vector<std::exception_ptr> errors_;
+  // Per-node deterministic counters and handlers. A node is owned by
+  // exactly one partition, so each entry is touched by one thread only.
+  std::vector<std::uint64_t> send_idx_;
+  std::vector<std::uint64_t> emit_idx_;
+  std::vector<MsgHandler> handlers_;
+};
+
+void Context::emit(int node, std::uint64_t word) {
+  exec_->emit(*this, node, word);
+}
+
+void Context::on_message(int node, MsgHandler h) {
+  exec_->on_message(*this, node, std::move(h));
+}
+
+void Context::send(int src_node, int dst_node, Time when,
+                   std::uint64_t word) {
+  exec_->send(*this, src_node, dst_node, when, word);
+}
+
+Result run(const Topology& topo, const Build& build,
+           std::uint64_t event_limit) {
+  topo.validate();
+  Executor exec(topo, event_limit);
+  return exec.run(build);
+}
+
+}  // namespace mns::sim::pdes

@@ -1,0 +1,200 @@
+// Partition-count invariance at cluster level (the --partitions analogue
+// of sweep_test's --jobs suite): across 64 chaos seeds crossed with
+// --faults and --express, the digest of a --partitions={2,4,8} run must
+// equal the --partitions=1 run bit for bit. Also covers the partition
+// plan itself: block layout, fabric-derived lookahead, validation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/partition.hpp"
+#include "fault/fault.hpp"
+#include "sweep/sweep_runner.hpp"
+
+namespace {
+
+using namespace mns;
+
+constexpr std::size_t kNodes = 8;
+constexpr std::uint64_t kEagerBytes = 512;
+constexpr std::uint64_t kRdvBytes = 32 << 10;
+constexpr std::uint64_t kSeeds = 64;
+
+constexpr cluster::Net kNets[] = {cluster::Net::kInfiniBand,
+                                  cluster::Net::kMyrinet,
+                                  cluster::Net::kQuadrics};
+
+// Chaos mix per seed (drops always; corruption/flaps/stalls cycling),
+// same spirit as fault_test's plan_for.
+fault::FaultPlan plan_for(std::uint64_t seed) {
+  fault::FaultPlan p(seed);
+  p.drop(fault::kAnyNode, fault::kAnyNode,
+         0.02 + 0.01 * static_cast<double>(seed % 8));
+  if (seed % 3 == 0) p.corrupt(0, 1, 0.05);
+  if (seed % 4 == 0) p.flap(1, 2, sim::Time::us(20), sim::Time::us(60));
+  if (seed % 5 == 0) p.reg_fail(fault::kAnyNode, 0.10);
+  return p;
+}
+
+struct Digest {
+  std::vector<std::uint64_t> words;
+  bool operator==(const Digest&) const = default;
+};
+
+// Neighbour exchange (one eager + one rendezvous per rank) reduced to a
+// flat word list: statuses in program order, fabric counters, final
+// clock, violation count. Runs on SweepRunner workers — no gtest macros.
+Digest run_point(cluster::Net net, std::uint64_t seed, int partitions,
+                 bool faulted, bool express) {
+  cluster::ClusterConfig cfg{.nodes = kNodes, .net = net};
+  cfg.express = express;
+  cfg.partitions = partitions;
+  if (faulted) cfg.faults = plan_for(seed);
+  cluster::Cluster c(cfg);
+  const auto ranks = static_cast<std::size_t>(c.ranks());
+  std::vector<std::vector<mpi::Status>> st(ranks);
+  c.run([&](mpi::Comm& comm) -> sim::Task<void> {
+    const int r = comm.rank();
+    const int right = (r + 1) % comm.size();
+    const int left = (r + comm.size() - 1) % comm.size();
+    auto r1 = co_await comm.irecv(
+        mpi::View::synth(0x4000u + static_cast<unsigned>(r), kEagerBytes),
+        left, 1);
+    auto r2 = co_await comm.irecv(
+        mpi::View::synth(0x60000u + static_cast<unsigned>(r), kRdvBytes),
+        left, 2);
+    auto s1 = co_await comm.isend(
+        mpi::View::synth(0x1000u + static_cast<unsigned>(r), kEagerBytes),
+        right, 1);
+    auto s2 = co_await comm.isend(
+        mpi::View::synth(0x20000u + static_cast<unsigned>(r), kRdvBytes),
+        right, 2);
+    auto& out = st[static_cast<std::size_t>(r)];
+    out.push_back(co_await comm.wait(r1));
+    out.push_back(co_await comm.wait(r2));
+    out.push_back(co_await comm.wait(s1));
+    out.push_back(co_await comm.wait(s2));
+  });
+
+  model::NetFabric& fab = c.fabric();
+  std::uint64_t violations = 0;
+  Digest d;
+  for (const auto& rank_statuses : st) {
+    if (rank_statuses.size() != 4) ++violations;
+    for (const mpi::Status& s : rank_statuses) {
+      if (s.error != mpi::kErrNone && s.error != mpi::kErrFabric) {
+        ++violations;
+      }
+      d.words.push_back(static_cast<std::uint64_t>(s.error));
+      d.words.push_back(static_cast<std::uint64_t>(s.source));
+      d.words.push_back(static_cast<std::uint64_t>(s.tag));
+      d.words.push_back(s.bytes);
+    }
+  }
+  if (fab.messages_posted() !=
+      fab.messages_delivered() + fab.messages_errored()) {
+    ++violations;
+  }
+  if (!c.make_audit_report().clean()) ++violations;
+  // The plan the run was executed under must be structurally sound —
+  // folded into the digest so a partition-dependent plan shows up as a
+  // mismatch, not silently.
+  const cluster::PartitionPlan& plan = c.partition_plan();
+  if (plan.partitions != partitions || plan.lookahead <= sim::Time::zero()) {
+    ++violations;
+  }
+  d.words.push_back(fab.messages_posted());
+  d.words.push_back(fab.messages_delivered());
+  d.words.push_back(fab.messages_errored());
+  d.words.push_back(fab.packets_dropped());
+  d.words.push_back(fab.packets_retransmitted());
+  d.words.push_back(fab.packets_abandoned());
+  d.words.push_back(static_cast<std::uint64_t>(c.engine().now().count_ps()));
+  d.words.push_back(violations);
+  return d;
+}
+
+// 64 seeds x partitions {1,2,4,8}; --faults and --express crossed by
+// seed phase so all four combinations appear 16 times each.
+TEST(PartitionChaos, DigestsArePartitionCountInvariantAcross64Seeds) {
+  constexpr int kParts[] = {1, 2, 4, 8};
+  sweep::SweepRunner runner(0);  // whole machine; output order is fixed
+  const auto digests =
+      runner.run_indexed(kSeeds * 4, [&](std::size_t i) {
+        const std::uint64_t seed = 1 + i / 4;
+        const bool faulted = seed % 2 == 0;
+        const bool express = (seed / 2) % 2 == 0;
+        return run_point(kNets[seed % 3], seed, kParts[i % 4], faulted,
+                         express);
+      });
+  for (std::size_t s = 0; s < kSeeds; ++s) {
+    const Digest& base = digests[s * 4];  // partitions=1
+    ASSERT_FALSE(base.words.empty());
+    EXPECT_EQ(base.words.back(), 0u) << "invariant violated at seed "
+                                     << (1 + s);
+    for (std::size_t k = 1; k < 4; ++k) {
+      EXPECT_EQ(digests[s * 4 + k], base)
+          << "seed " << (1 + s) << " partitions " << kParts[k];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The plan itself.
+
+TEST(PartitionPlan, BlockLayoutAndFabricLookahead) {
+  for (cluster::Net net : kNets) {
+    cluster::ClusterConfig cfg{.nodes = 8, .net = net};
+    cfg.partitions = 4;
+    cluster::Cluster c(cfg);
+    const cluster::PartitionPlan& plan = c.partition_plan();
+    EXPECT_EQ(plan.nodes, 8);
+    EXPECT_EQ(plan.partitions, 4);
+    EXPECT_EQ(plan.part_of, (std::vector<int>{0, 0, 1, 1, 2, 2, 3, 3}));
+    EXPECT_EQ(plan.sizes, (std::vector<int>{2, 2, 2, 2}));
+    // The conservative lookahead is the fabric's tx wire latency — the
+    // physical floor below which no cross-node effect can propagate.
+    EXPECT_EQ(plan.lookahead, c.fabric().nic_config().tx_wire_latency);
+    EXPECT_GT(plan.lookahead, sim::Time::zero());
+    // Round-trips into the PDES core's vocabulary unchanged.
+    const sim::pdes::Topology topo = plan.to_topology();
+    EXPECT_NO_THROW(topo.validate());
+    EXPECT_EQ(topo.part_of, plan.part_of);
+    EXPECT_EQ(topo.lookahead, plan.lookahead);
+  }
+}
+
+TEST(PartitionPlan, UnevenBlocksSpreadRemainderOverLeadingPartitions) {
+  const auto plan =
+      cluster::make_partition_plan(10, 4, sim::Time::ns(1));
+  EXPECT_EQ(plan.sizes, (std::vector<int>{3, 2, 3, 2}));
+  int total = 0;
+  for (int s : plan.sizes) total += s;
+  EXPECT_EQ(total, 10);
+  // part_of must be monotone (contiguous blocks).
+  for (std::size_t i = 1; i < plan.part_of.size(); ++i) {
+    EXPECT_GE(plan.part_of[i], plan.part_of[i - 1]);
+  }
+}
+
+TEST(PartitionPlan, RejectsImpossibleRequests) {
+  EXPECT_THROW(cluster::make_partition_plan(0, 1, sim::Time::ns(1)),
+               std::invalid_argument);
+  EXPECT_THROW(cluster::make_partition_plan(8, 0, sim::Time::ns(1)),
+               std::invalid_argument);
+  EXPECT_THROW(cluster::make_partition_plan(8, 9, sim::Time::ns(1)),
+               std::invalid_argument);
+  EXPECT_THROW(cluster::make_partition_plan(8, 2, sim::Time::zero()),
+               std::invalid_argument);
+  // And through the cluster: an impossible --partitions fails at
+  // construction, not mid-run.
+  cluster::ClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.partitions = 16;
+  EXPECT_THROW(cluster::Cluster c(cfg), std::invalid_argument);
+}
+
+}  // namespace

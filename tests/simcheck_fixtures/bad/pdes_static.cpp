@@ -23,4 +23,10 @@ struct Dispatcher {
   }
 };
 
+// Mutable and shared, but no event handler reaches it: inventory +
+// advisory note only — it must NOT gate until a handler path touches it.
+std::uint64_t g_offline_tally = 0;
+
+void offline_report() { g_offline_tally += 1; }
+
 }  // namespace fixbad

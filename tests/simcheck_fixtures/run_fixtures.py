@@ -102,14 +102,30 @@ def test_bad_fixtures_fire_every_rule(frontend: str, tmp: Path) -> None:
     pdes = in_file(findings, "pdes-static", "pdes_static.cpp")
     assert len(pdes) == 2, f"pdes-static: want 2 errors, got {pdes}"
 
+    # Handler-unreachable mutable statics are advisory, never gating.
+    off = [f for f in in_file(findings, "pdes-static", "pdes_static.cpp",
+                              "info")
+           if "g_offline_tally" in f["message"]]
+    assert len(off) == 1, f"unreached static should be info-only: {findings}"
+
     # The state inventory must list the shared counter and name the event
     # handler that reaches it.
     entry = next(s for s in state["statics"]
                  if s["name"].endswith("g_event_count"))
     assert entry["class"] == "mutable-shared", entry
+    assert entry["gating"] is True, entry
     assert any(rb.endswith("Dispatcher::step_event")
                for rb in entry["reached_by"]), entry
-    assert state["summary"]["mutable_shared"] >= 2, state["summary"]
+    offline = next(s for s in state["statics"]
+                   if s["name"].endswith("g_offline_tally"))
+    assert offline["gating"] is False, offline
+    assert state["summary"]["mutable_shared"] >= 3, state["summary"]
+    assert state["summary"]["gating"] == 2, state["summary"]
+
+    # The gate's verdict is recorded in the state json itself.
+    assert state["verdict"]["rule"] == "pdes-static", state["verdict"]
+    assert state["verdict"]["status"] == "fail", state["verdict"]
+    assert state["verdict"]["gating_findings"] == 2, state["verdict"]
 
 
 def test_good_fixtures_stay_silent(frontend: str, tmp: Path) -> None:
@@ -128,6 +144,12 @@ def test_good_fixtures_stay_silent(frontend: str, tmp: Path) -> None:
     entry = next(s for s in state["statics"]
                  if s["name"].endswith("g_debug_poke_count"))
     assert entry["class"] == "mutable-shared", entry
+    assert entry["allowed"] is True, entry
+    assert entry["gating"] is False, entry
+
+    # A clean tree records a passing verdict with zero gating findings.
+    assert state["verdict"]["status"] == "pass", state["verdict"]
+    assert state["verdict"]["gating_findings"] == 0, state["verdict"]
 
 
 def test_missing_compdb_is_usage_error(frontend: str, tmp: Path) -> None:

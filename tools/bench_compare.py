@@ -13,13 +13,15 @@ threshold (default 30%, chosen to ride out CI-runner noise while still
 catching real data-path regressions like an express-path fallback or a
 per-packet allocation creeping back in) fails the run.
 
-New benchmarks (in CURRENT only) and retired ones (BASELINE only) are
-reported but never fail: the gate must not block adding or removing
-benchmarks. The exception is --require NAME_REGEX (repeatable): the
-CURRENT report must contain at least one comparable benchmark matching
-each pattern, so load-bearing benchmarks (e.g. BM_RetransmitStorm, the
-fault-recovery hot path) cannot be silently retired or renamed out of
-the gate.
+New benchmarks (in CURRENT only) are labelled "new, not compared" and
+never fail — a benchmark added in the candidate has no baseline row and
+the gate must not block adding it. Retired ones (BASELINE only) are
+reported but never fail either. --require NAME_REGEX (repeatable) is
+satisfied by any CURRENT benchmark with a usable items/s counter,
+including brand-new ones: load-bearing benchmarks (e.g.
+BM_RetransmitStorm, or a freshly added BM_PdesSweep3D64) must be
+present in the candidate report, whether or not the baseline knows
+them yet.
 
 Exit status: 0 ok, 1 regression(s), 2 usage/IO error.
 """
@@ -66,6 +68,8 @@ def main(argv: list[str]) -> int:
     base = load_items_per_second(args.baseline)
     cur = load_items_per_second(args.current)
 
+    # --require gates on the CURRENT report only: a new benchmark (no
+    # baseline row yet) still satisfies its pattern.
     missing = [pat for pat in args.require
                if not any(re.search(pat, name) for name in cur)]
     if missing:
@@ -75,16 +79,14 @@ def main(argv: list[str]) -> int:
                   file=sys.stderr)
         return 1
 
-    if not base:
-        print("bench_compare: baseline has no comparable benchmarks; "
-              "nothing to gate")
-        return 0
-
     regressions = []
+    new_count = 0
     width = max((len(n) for n in base.keys() | cur.keys()), default=0)
     for name in sorted(base.keys() | cur.keys()):
         if name not in base:
-            print(f"  {name:<{width}}  NEW")
+            new_count += 1
+            print(f"  {name:<{width}}  {cur[name]:>14.0f} items/s  "
+                  f"(new, not compared)")
             continue
         if name not in cur:
             print(f"  {name:<{width}}  RETIRED")
@@ -101,7 +103,12 @@ def main(argv: list[str]) -> int:
         print(f"bench_compare: {len(regressions)} benchmark(s) lost more "
               f"than {args.threshold:.0%} throughput", file=sys.stderr)
         return 1
-    print("bench_compare: within threshold")
+    if not base:
+        print(f"bench_compare: baseline has no comparable benchmarks; "
+              f"{new_count} new benchmark(s) recorded, nothing to gate")
+        return 0
+    print("bench_compare: within threshold"
+          + (f" ({new_count} new, not compared)" if new_count else ""))
     return 0
 
 

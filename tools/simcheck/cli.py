@@ -90,7 +90,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.state_json:
         report.write_state_json(args.state_json, inventory, frontend,
-                                hot_roots)
+                                hot_roots, findings)
     if args.findings_json:
         args.findings_json.write_text(report.findings_json(findings),
                                       encoding="utf-8")

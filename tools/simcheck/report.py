@@ -34,9 +34,12 @@ def findings_json(findings: list[Finding]) -> str:
 
 
 def write_state_json(path: Path, inventory: list[dict], frontend: str,
-                     hot_roots: list[str]) -> None:
+                     hot_roots: list[str],
+                     findings: list[Finding] | None = None) -> None:
+    pdes = [f for f in (findings or []) if f.rule == "pdes-static"]
+    gating = sum(1 for f in pdes if f.severity == "error")
     doc = {
-        "schema": "simcheck_state/1",
+        "schema": "simcheck_state/2",
         "frontend": frontend,
         "hot_roots": hot_roots,
         "statics": inventory,
@@ -48,6 +51,16 @@ def write_state_json(path: Path, inventory: list[dict], frontend: str,
                               if s["class"] == "per-thread"),
             "const_after_init": sum(1 for s in inventory
                                     if s["class"] == "const-after-init"),
+            "allowed": sum(1 for s in inventory if s.get("allowed")),
+            "gating": sum(1 for s in inventory if s.get("gating")),
+        },
+        # The gate simcheck_src enforces: fail iff a mutable shared
+        # static is reachable from an event handler and not annotated.
+        "verdict": {
+            "rule": "pdes-static",
+            "status": "fail" if gating else "pass",
+            "gating_findings": gating,
+            "advisory_findings": len(pdes) - gating,
         },
     }
     path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")

@@ -343,22 +343,43 @@ def pdes_audit(sm: SourceModel,
         else:
             cls = "mutable-shared"
             sev = "error"
+        allowed = sm.allowed("pdes-state", sv.file, sv.line)
+        # Gating = the PDES hazard is live: a mutable shared static an
+        # event handler can actually reach, with no allow annotation.
+        gating = (cls == "mutable-shared" and bool(reached_by)
+                  and not allowed)
         inventory.append({
             "name": sv.qname, "file": sv.file, "line": sv.line,
             "kind": sv.kind, "type": sv.type_str, "class": cls,
             "reached_by": reached_by,
+            "allowed": allowed,
+            "gating": gating,
         })
-        if sm.allowed("pdes-state", sv.file, sv.line):
+        if allowed:
             continue
         if cls == "mutable-shared":
-            findings.append(Finding(
-                rule="pdes-static", file=sv.file, line=sv.line,
-                message=f"mutable {sv.kind.replace('_', ' ')} "
-                        f"'{sv.qname}' is shared sim state outside any "
-                        "Engine; a partitioned (PDES) run would race or "
-                        "diverge on it. Move it into an engine-owned "
-                        "object, make it const, or thread_local.",
-                chain=", ".join(reached_by)))
+            if reached_by:
+                findings.append(Finding(
+                    rule="pdes-static", file=sv.file, line=sv.line,
+                    message=f"mutable {sv.kind.replace('_', ' ')} "
+                            f"'{sv.qname}' is shared sim state reachable "
+                            "from an event handler; a partitioned (PDES) "
+                            "run would race or diverge on it. Move it "
+                            "into an engine-owned object, make it const "
+                            "or thread_local, or annotate the line above "
+                            "with 'simcheck-allow: pdes-state' and a "
+                            "justification.",
+                    chain=", ".join(reached_by)))
+            else:
+                findings.append(Finding(
+                    rule="pdes-static", file=sv.file, line=sv.line,
+                    severity="info",
+                    message=f"mutable {sv.kind.replace('_', ' ')} "
+                            f"'{sv.qname}' is shared state no event "
+                            "handler currently reaches — inventory only, "
+                            "but it becomes a gating PDES hazard the "
+                            "moment a handler path touches it.",
+                    chain=""))
         elif cls == "per-thread":
             findings.append(Finding(
                 rule="pdes-static", file=sv.file, line=sv.line,

@@ -125,10 +125,13 @@ PATTERN_RULES = [
         ),
         "threading primitive in simulator code; a simulation is "
         "single-threaded by contract — parallelism belongs between "
-        "simulations, in src/sweep/ only",
-        # The one place allowed to touch threads: the between-simulations
-        # sweep runner (see its header for why that stays deterministic).
-        exempt_dirs=frozenset({"sweep"}),
+        "simulations (src/sweep/) or between conservatively synchronized "
+        "partitions (src/sim/pdes/) only",
+        # The two places allowed to touch threads: the between-simulations
+        # sweep runner, and the conservative PDES executor whose channel /
+        # LBTS protocol keeps results bit-identical to sequential (see
+        # each header for why determinism survives).
+        exempt_dirs=frozenset({"sweep", "pdes"}),
     ),
     Rule(
         "stdout",
