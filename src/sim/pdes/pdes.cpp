@@ -165,7 +165,11 @@ class Executor {
                          std::make_move_iterator(part.emissions.begin()),
                          std::make_move_iterator(part.emissions.end()));
       r.end_ps = std::max(r.end_ps, part.end_ps);
-      r.events += part.events;
+      // Batch carrier events are layout-dependent (same-instant messages
+      // split across destination partitions fuse differently), so they
+      // are excluded: `events` counts workload events only and is
+      // partition-invariant like every counter except delivery_batches.
+      r.events += part.events - part.batches;
       r.messages += part.messages;
       r.delivery_batches += part.batches;
     }
@@ -311,17 +315,33 @@ class Executor {
       if (abort_.load(std::memory_order_acquire)) return;
       if (done_.load(std::memory_order_acquire)) break;
 
-      // LBTS: scan channel in-flight minima *before* the known horizons
-      // (a drain lowers the receiver's horizon before clearing the
-      // channel minimum, so this order never misses a message), then
-      // safe = min(everything) + lookahead.
+      // LBTS: safe = min(every known horizon, every channel in-flight
+      // minimum) + lookahead. Evidence of one in-flight message MOVES
+      // between those locations over its life (sender horizon -> channel
+      // minimum -> receiver horizon, each new location written before
+      // the old one is released), so a fixed-order scan — even one that
+      // re-reads the channels after the horizons — can be defeated by a
+      // transfer chain interleaving with it. The scan therefore retries
+      // under the evidence seqlock: gen_ is odd while a removal is in
+      // flight, so a scan bracketed by the same even gen_ ran in a
+      // window where no evidence vanished, and whatever evidence existed
+      // when the window opened was still in place when each location was
+      // read.
       std::int64_t m = kInf;
       if (k > 1) {
-        for (const auto& ch : chan_) {
-          m = std::min(m, ch->min_when.load(std::memory_order_seq_cst));
-        }
-        for (const Part& part : parts_) {
-          m = std::min(m, part.known.load(std::memory_order_seq_cst));
+        for (;;) {
+          const std::uint64_t g0 = gen_.load(std::memory_order_seq_cst);
+          if ((g0 & 1) == 0) {
+            m = kInf;
+            for (const auto& ch : chan_) {
+              m = std::min(m, ch->min_when.load(std::memory_order_seq_cst));
+            }
+            for (const Part& part : parts_) {
+              m = std::min(m, part.known.load(std::memory_order_seq_cst));
+            }
+            if (gen_.load(std::memory_order_seq_cst) == g0) break;
+          }
+          if (abort_.load(std::memory_order_relaxed)) return;
         }
       }
       const std::int64_t safe = sat_add(m, la);
@@ -350,11 +370,20 @@ class Executor {
       mine.events = eng.events_processed();
       mine.end_ps = std::max(mine.end_ps, eng.now().count_ps());
 
-      // Publish the new horizon (write-once-per-round; owner-only).
+      // Publish the new horizon (owner-only). Lowering it adds evidence
+      // and may race freely with scans; RAISING it removes evidence and
+      // must go through the seqlock so no concurrent scan half-sees the
+      // move.
       const std::int64_t horizon =
           std::min(eng.next_event_at_ps(),
                    mine.pending.empty() ? kInf : mine.pending.front().when_ps);
-      mine.known.store(horizon, std::memory_order_seq_cst);
+      const std::int64_t prev = mine.known.load(std::memory_order_relaxed);
+      if (horizon > prev) {
+        remove_evidence(
+            [&] { mine.known.store(horizon, std::memory_order_seq_cst); });
+      } else if (horizon < prev) {
+        mine.known.store(horizon, std::memory_order_seq_cst);
+      }
 
       if (horizon == kInf) {
         // Quiescent: flag it and test global termination. Idle flags only
@@ -394,12 +423,15 @@ class Executor {
         std::int64_t mn = kInf;
         for (const Msg& msg : got) mn = std::min(mn, msg.when_ps);
         // Take responsibility for the drained messages *before* the
-        // channel forgets them: lower our horizon first, then clear the
-        // in-flight minimum (see the LBTS scan order).
+        // channel forgets them: lower our horizon first (evidence-adding,
+        // lock-free), then clear the in-flight minimum through the
+        // seqlock — the clear is an evidence removal, legal only because
+        // the lowered horizon now carries the same evidence.
         if (mn < mine.known.load(std::memory_order_seq_cst)) {
           mine.known.store(mn, std::memory_order_seq_cst);
         }
-        ch.min_when.store(kInf, std::memory_order_seq_cst);
+        remove_evidence(
+            [&] { ch.min_when.store(kInf, std::memory_order_seq_cst); });
       }
       if (got.empty()) continue;
       if (is_idle) {
@@ -447,10 +479,29 @@ class Executor {
            }));
   }
 
+  // Evidence-removal seqlock. Raising a known horizon back up and
+  // resetting a drained channel's minimum are the only writes that make
+  // a timestamp *disappear* from the LBTS scan's view; they serialize on
+  // gen_mu_ (single writer, so odd/even parity is meaningful) and hold
+  // gen_ odd for their duration. Evidence-ADDING writes — a send
+  // lowering a channel minimum, a drain lowering the receiver's horizon
+  // — bypass it entirely: a scan that sees them early only computes a
+  // smaller, more conservative safe time. Lock order: ch.mu -> gen_mu_
+  // (drain); the raise site takes gen_mu_ alone.
+  template <typename Store>
+  void remove_evidence(Store&& store) {
+    std::lock_guard<std::mutex> g(gen_mu_);
+    gen_.fetch_add(1, std::memory_order_seq_cst);
+    store();
+    gen_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
   const Topology topo_;
   const std::uint64_t limit_;
   std::vector<Part> parts_;
   std::vector<std::unique_ptr<Channel>> chan_;  // [from * K + to]
+  std::mutex gen_mu_;
+  std::atomic<std::uint64_t> gen_{0};
   // Termination protocol (see loop()/drain()). Idle flags are guarded by
   // term_mu_; the message counters are seq-cst atomics ordered against
   // the channel operations.

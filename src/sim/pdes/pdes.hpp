@@ -34,10 +34,22 @@
 //   safe = min(all known, all in-flight minima) + lookahead
 //
 // is a lower bound on any delivery this partition can still receive, and
-// every event strictly before `safe` can run immediately. Readers scan
-// channel minima *before* `known` values: a drain lowers the receiver's
-// `known` before raising the channel minimum back to infinity, so a
-// message in motion is always visible on at least one side of the scan.
+// every event strictly before `safe` can run immediately.
+//
+// The scan is made atomic against evidence *removal* by a seqlock.
+// Evidence of one in-flight message moves between locations over its
+// life — sender horizon, channel minimum, receiver horizon, each new
+// location written before the old one is released — so a fixed-order
+// scan (in any order, however many passes) can be defeated by a
+// transfer chain that interleaves with it. Instead, the two writes that
+// remove evidence (raising a horizon at round end, resetting a drained
+// channel's minimum) serialize on a mutex and hold a generation counter
+// odd; a scan only accepts a minimum read entirely within one even,
+// unchanged generation — a window in which no evidence vanished, so
+// whatever evidence existed when the window opened was still in place
+// when each location was read. Evidence-adding writes (a send lowering
+// a channel minimum, a drain lowering the receiver's horizon) stay
+// lock-free: observing them early only makes `safe` more conservative.
 //
 // # Determinism (the merge rule)
 //
@@ -100,13 +112,18 @@ struct Emission {
 
 /// Merged run result. `emissions` is the deterministic observable stream
 /// (sorted by (at_ps, node, idx)); the counters are aggregates over all
-/// partitions and are themselves partition-invariant except for
-/// `delivery_batches`, which depends on drain grouping only in so far as
-/// it counts scheduling efficiency, not simulated behaviour.
+/// partitions. `events` counts workload-scheduled engine events only —
+/// the carrier events injected to deliver message batches are excluded,
+/// because batch grouping is layout-dependent (same-instant messages to
+/// nodes in different partitions fuse into one batch at K=1 but several
+/// at K>1). Every counter is partition-invariant except
+/// `delivery_batches`, which counts exactly those carriers and measures
+/// scheduling efficiency, not simulated behaviour.
 struct Result {
   std::vector<Emission> emissions;
   std::int64_t end_ps = 0;          // max partition clock at drain
-  std::uint64_t events = 0;         // engine events processed, summed
+  std::uint64_t events = 0;         // workload events processed, summed
+                                    // (delivery-batch carriers excluded)
   std::uint64_t messages = 0;       // channel messages delivered
   std::uint64_t delivery_batches = 0;  // batch events carrying them
 

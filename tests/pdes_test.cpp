@@ -133,12 +133,16 @@ TEST(Pdes, MessageCountsAndEventTotalsArePartitionInvariant) {
   pp.seed = 7;
   const pdes::Result a = run_traffic(pp, 1);
   const pdes::Result b = run_traffic(pp, 8);
-  // Message traffic is defined by the workload, not the layout. (Raw
-  // engine event totals differ only by batch fusion; the *messages*
-  // carried must match exactly.)
+  // Message traffic and workload event totals are defined by the
+  // workload, not the layout: Result::events excludes the injected
+  // delivery-batch carrier events (whose grouping — delivery_batches —
+  // is the one layout-dependent counter).
   EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_GT(a.events, 0u);
   EXPECT_GT(a.delivery_batches, 0u);
   EXPECT_LE(a.delivery_batches, a.messages);
+  EXPECT_LE(b.delivery_batches, b.messages);
 }
 
 // ---------------------------------------------------------------------------
