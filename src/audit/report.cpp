@@ -7,12 +7,17 @@ void AuditReport::Scope::fail(std::string message) {
       Violation{component_, std::move(message)});
 }
 
+void AuditReport::Scope::note(std::string message) {
+  report_->notes_.push_back(Note{component_, std::move(message)});
+}
+
 void AuditReport::add_check(std::string component, Check fn) {
   checks_.push_back(Entry{std::move(component), std::move(fn)});
 }
 
 const std::vector<AuditReport::Violation>& AuditReport::run() {
   violations_.clear();
+  notes_.clear();
   for (const auto& entry : checks_) {
     Scope scope(*this, entry.component);
     try {
@@ -30,15 +35,20 @@ void AuditReport::require_clean() {
 }
 
 std::string AuditReport::summary() const {
+  std::string notes;
+  for (const auto& n : notes_) {
+    notes += "\n  [" + n.component + "] " + n.message;
+  }
   if (violations_.empty()) {
-    return "audit clean (" + std::to_string(checks_.size()) + " checks)";
+    return "audit clean (" + std::to_string(checks_.size()) + " checks)" +
+           notes;
   }
   std::string out = "audit found " + std::to_string(violations_.size()) +
                     " violation(s):";
   for (const auto& v : violations_) {
     out += "\n  [" + v.component + "] " + v.message;
   }
-  return out;
+  return out + notes;
 }
 
 }  // namespace mns::audit

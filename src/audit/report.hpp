@@ -29,12 +29,20 @@ class AuditReport {
     std::string component;
     std::string message;
   };
+  /// Informational line recorded by a check (never a failure) — e.g. the
+  /// per-partition executor counters, so a skewed partition plan is
+  /// visible in the audit output without failing the run.
+  struct Note {
+    std::string component;
+    std::string message;
+  };
 
   /// Handed to each check while it runs; failures are recorded against the
   /// registered component name.
   class Scope {
    public:
     void fail(std::string message);
+    void note(std::string message);
     void require(bool cond, std::string message) {
       if (!cond) fail(std::move(message));
     }
@@ -67,6 +75,7 @@ class AuditReport {
   const std::vector<Violation>& run();
 
   const std::vector<Violation>& violations() const { return violations_; }
+  const std::vector<Note>& notes() const { return notes_; }
   bool clean() const { return violations_.empty(); }
 
   /// run(), then throw AuditError summarizing every violation (if any).
@@ -83,6 +92,7 @@ class AuditReport {
 
   std::vector<Entry> checks_;
   std::vector<Violation> violations_;
+  std::vector<Note> notes_;
 };
 
 }  // namespace mns::audit

@@ -1,6 +1,7 @@
 #include "cluster/cluster.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "sim/frame_pool.hpp"
 
@@ -37,72 +38,170 @@ model::BusConfig bus_for(Net net, Bus bus) {
 }
 }  // namespace
 
-Cluster::Cluster(const ClusterConfig& cfg)
-    : cfg_(cfg), eng_(std::make_unique<sim::Engine>()) {
+Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   if (cfg_.nodes == 0) throw std::invalid_argument("cluster needs nodes");
   if (cfg_.ppn < 1 || cfg_.ppn > 2) {
     throw std::invalid_argument("ppn must be 1 or 2 (dual-CPU nodes)");
   }
 
-  // Pre-size the event heap from the topology: per-rank process starts,
-  // in-flight window messages, NIC pipeline stages. Over-reserving a
-  // little is free; re-growing mid-run costs a full heap copy.
-  const std::size_t ranks = cfg_.nodes * static_cast<std::size_t>(cfg_.ppn);
-  eng_->reserve_events(64 + 48 * ranks);
-
   const model::BusConfig bus = bus_for(cfg_.net, cfg_.bus);
-  std::vector<model::NodeHw*> node_ptrs;
-  nodes_.reserve(cfg_.nodes);
-  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
-    nodes_.push_back(std::make_unique<model::NodeHw>(
-        *eng_, bus, model::xeon_2003_memcpy()));
-    node_ptrs.push_back(nodes_.back().get());
-  }
 
-  mpi_ = std::make_unique<mpi::Mpi>(
-      *eng_, mpi::Topology::block(cfg_.nodes, cfg_.ppn));
-
+  // Resolve every hardware and channel config (tweaks applied) before
+  // constructing anything: the partition layout must be decided first,
+  // because each node's pipes, NIC state and MPI procs are built directly
+  // on their owning partition's engine.
+  ib::IbConfig ib_cfg{};
+  gm::GmConfig gm_cfg{};
+  elan::ElanConfig elan_cfg{};
+  mpi::RdvChannelConfig rdv_cc{};
+  mpi::ElanChannelConfig elan_cc{};
+  model::NicConfig nic{};
+  std::size_t fat_tree_radix = 0;
+  bool hw_bcast = false;
+  bool on_demand = false;
   switch (cfg_.net) {
     case Net::kInfiniBand: {
-      auto fc = ib::default_ib_config(cfg_.nodes);
-      if (cfg_.tweak_ib) cfg_.tweak_ib(fc);
-      ib_ = std::make_unique<ib::IbFabric>(*eng_, node_ptrs, fc);
-      ib_->set_express(cfg_.express);
-      auto cc = mpi::default_ch_ib_config();
-      if (cfg_.tweak_channel) cfg_.tweak_channel(cc);
-      mpi_->set_device(mpi::make_ch_ib(*mpi_, *ib_, cc));
+      ib_cfg = ib::default_ib_config(cfg_.nodes);
+      if (cfg_.tweak_ib) cfg_.tweak_ib(ib_cfg);
+      rdv_cc = mpi::default_ch_ib_config();
+      if (cfg_.tweak_channel) cfg_.tweak_channel(rdv_cc);
+      nic = ib_cfg.nic;
+      fat_tree_radix = ib_cfg.switch_cfg.fat_tree_radix;
+      hw_bcast = rdv_cc.hw_multicast;
+      on_demand = ib_cfg.on_demand_connections;
       break;
     }
     case Net::kMyrinet: {
-      auto fc = gm::default_gm_config(cfg_.nodes);
-      if (cfg_.tweak_gm) cfg_.tweak_gm(fc);
-      gm_ = std::make_unique<gm::GmFabric>(*eng_, node_ptrs, fc);
-      gm_->set_express(cfg_.express);
-      auto cc = mpi::default_ch_gm_config();
-      if (cfg_.tweak_channel) cfg_.tweak_channel(cc);
-      mpi_->set_device(mpi::make_ch_gm(*mpi_, *gm_, cc));
+      gm_cfg = gm::default_gm_config(cfg_.nodes);
+      if (cfg_.tweak_gm) cfg_.tweak_gm(gm_cfg);
+      rdv_cc = mpi::default_ch_gm_config();
+      if (cfg_.tweak_channel) cfg_.tweak_channel(rdv_cc);
+      nic = gm_cfg.nic;
+      fat_tree_radix = gm_cfg.switch_cfg.fat_tree_radix;
+      hw_bcast = rdv_cc.hw_multicast;
       break;
     }
     case Net::kQuadrics: {
-      auto fc = elan::default_elan_config(cfg_.nodes);
-      if (cfg_.tweak_elan) cfg_.tweak_elan(fc);
-      elan_ = std::make_unique<elan::ElanFabric>(*eng_, node_ptrs, fc);
-      elan_->set_express(cfg_.express);
-      auto cc = mpi::default_elan_channel_config();
-      if (cfg_.tweak_elan_channel) cfg_.tweak_elan_channel(cc);
-      mpi_->set_device(mpi::make_ch_elan(*mpi_, *elan_, cc));
+      elan_cfg = elan::default_elan_config(cfg_.nodes);
+      if (cfg_.tweak_elan) cfg_.tweak_elan(elan_cfg);
+      elan_cc = mpi::default_elan_channel_config();
+      if (cfg_.tweak_elan_channel) cfg_.tweak_elan_channel(elan_cc);
+      nic = elan_cfg.nic;
+      fat_tree_radix = elan_cfg.switch_cfg.fat_tree_radix;
+      hw_bcast = elan_cc.use_hw_bcast;
       break;
     }
   }
-
-  if (!cfg_.faults.empty()) fabric().set_fault_plan(cfg_.faults);
 
   // Derive and validate the conservative partition plan up front, so an
   // impossible --partitions request fails at construction, not mid-run.
   // The lookahead floor is the fabric's tx wire latency: the one delay
   // every cross-node interaction must pay before it becomes observable.
   plan_ = make_partition_plan(static_cast<int>(cfg_.nodes), cfg_.partitions,
-                              fabric().nic_config().tx_wire_latency);
+                              nic.tx_wire_latency);
+
+  // The executor enforces when >= now + lookahead on every wire message;
+  // the tightest slack any protocol message carries is the minimum of the
+  // ENTER (tx wire latency), LOSS (rx fixed latency) and LAND (bus DMA
+  // setup) floors.
+  sim::Time l_exec = std::min(
+      {nic.tx_wire_latency, nic.rx_fixed, bus.per_dma_setup});
+  if (cfg_.net == Net::kMyrinet) {
+    // Staged fabric: a bulk message's ENTER is deferred to the kTx event
+    // (the staging queue is shared with the receive side and only final
+    // there), so its slack is the packet's staging serialization — as
+    // small as one byte for a runt last packet.
+    l_exec = std::min(l_exec, sim::transfer_time(1, gm_cfg.sram_rate));
+  }
+
+  // Demote to sequential execution when the configuration's hardware
+  // shortcut touches remote-node state outside the wire protocol (see the
+  // ClusterConfig::partitions comment), or when the executor would have
+  // no conservative window at all.
+  effective_partitions_ = cfg_.partitions;
+  if (cfg_.partitions > 1 &&
+      (hw_bcast || fat_tree_radix > 0 || on_demand ||
+       !(l_exec > sim::Time::zero()))) {
+    effective_partitions_ = 1;
+  }
+  const int parts_n = effective_partitions_;
+
+  // Pre-size the event heaps from the topology: per-rank process starts,
+  // in-flight window messages, NIC pipeline stages. Over-reserving a
+  // little is free; re-growing mid-run costs a full heap copy.
+  const std::size_t ranks = cfg_.nodes * static_cast<std::size_t>(cfg_.ppn);
+  engines_.reserve(static_cast<std::size_t>(parts_n));
+  for (int p = 0; p < parts_n; ++p) {
+    engines_.push_back(std::make_unique<sim::Engine>());
+    engines_.back()->reserve_events(64 + 48 * ranks);
+  }
+
+  // node -> owning engine (everything on engines_[0] when sequential).
+  std::vector<sim::Engine*> node_eng(cfg_.nodes, engines_.front().get());
+  if (parts_n > 1) {
+    for (std::size_t n = 0; n < cfg_.nodes; ++n) {
+      node_eng[n] = engines_[static_cast<std::size_t>(plan_.part_of[n])].get();
+    }
+  }
+
+  std::vector<model::NodeHw*> node_ptrs;
+  nodes_.reserve(cfg_.nodes);
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+    nodes_.push_back(std::make_unique<model::NodeHw>(
+        *node_eng[i], bus, model::xeon_2003_memcpy()));
+    node_ptrs.push_back(nodes_.back().get());
+  }
+
+  mpi_ = std::make_unique<mpi::Mpi>(
+      *engines_.front(), mpi::Topology::block(cfg_.nodes, cfg_.ppn),
+      parts_n > 1 ? node_eng : std::vector<sim::Engine*>{});
+
+  model::FabricPartitioning fp;
+  const model::FabricPartitioning* fpp = nullptr;
+  if (parts_n > 1) {
+    fp.part_of = plan_.part_of;
+    for (auto& e : engines_) fp.engines.push_back(e.get());
+    fpp = &fp;
+  }
+
+  switch (cfg_.net) {
+    case Net::kInfiniBand: {
+      ib_ = std::make_unique<ib::IbFabric>(*engines_.front(), node_ptrs,
+                                           ib_cfg, fpp);
+      ib_->set_express(cfg_.express);
+      mpi_->set_device(mpi::make_ch_ib(*mpi_, *ib_, rdv_cc));
+      break;
+    }
+    case Net::kMyrinet: {
+      gm_ = std::make_unique<gm::GmFabric>(*engines_.front(), node_ptrs,
+                                           gm_cfg, fpp);
+      gm_->set_express(cfg_.express);
+      mpi_->set_device(mpi::make_ch_gm(*mpi_, *gm_, rdv_cc));
+      break;
+    }
+    case Net::kQuadrics: {
+      elan_ = std::make_unique<elan::ElanFabric>(*engines_.front(),
+                                                 node_ptrs, elan_cfg, fpp);
+      elan_->set_express(cfg_.express);
+      mpi_->set_device(mpi::make_ch_elan(*mpi_, *elan_, elan_cc));
+      break;
+    }
+  }
+
+  if (!cfg_.faults.empty()) fabric().set_fault_plan(cfg_.faults);
+
+  if (parts_n > 1) {
+    // The executor's conservative window runs on the tightest protocol
+    // slack, not the plan's tx-wire-latency bound (the plan documents the
+    // physical floor; the executor must also admit LOSS/LAND messages).
+    sim::pdes::Topology topo = plan_.to_topology();
+    topo.lookahead = l_exec;
+    std::vector<sim::Engine*> raw;
+    for (auto& e : engines_) raw.push_back(e.get());
+    exec_ = std::make_unique<sim::pdes::FabricExecutor>(std::move(topo),
+                                                        std::move(raw));
+    fabric().bind_executor(*exec_);
+  }
 
   comms_.reserve(mpi_->size());
   for (std::size_t r = 0; r < mpi_->size(); ++r) {
@@ -115,7 +214,10 @@ Cluster::Cluster(const ClusterConfig& cfg)
   // of a run. Re-snapshotted at each run() so the audit stays exact even
   // when several clusters are alive on this thread (the pool is
   // thread-local and run() is synchronous, so nothing else can allocate
-  // between the snapshot and the check).
+  // between the snapshot and the check). Worker-thread frames (rank
+  // programs and transients of partitions > 0) allocate and free on their
+  // own thread's pool within a round, so the main-thread check is exact
+  // in partitioned runs too.
   frame_pool_baseline_ = sim::frame_pool::stats().outstanding();
 }
 
@@ -126,32 +228,57 @@ model::NetFabric& Cluster::fabric() {
 }
 
 Cluster::~Cluster() {
+  // Destroy the executor first: its worker threads must be joined before
+  // the engines they borrow go away.
+  exec_.reset();
   // Suspended rank coroutines (e.g. after a DeadlockError run) hold
   // MpiScope/Request locals referencing mpi_ and the fabrics. Destroy
   // their frames while those members are still alive; member destruction
   // order alone would tear down mpi_ first.
-  eng_->drop_processes();
+  for (auto& e : engines_) e->drop_processes();
 }
 
 sim::Time Cluster::run(RankMain rank_main) {
-  const sim::Time start = eng_->now();
+  const sim::Time start = now();
   frame_pool_baseline_ = sim::frame_pool::stats().outstanding();
-  for (auto& comm : comms_) {
-    // Wrap so each rank's coroutine sees its own Comm.
-    eng_->spawn([](RankMain fn, mpi::Comm& c) -> sim::Task<void> {
-      co_await fn(c);
-    }(rank_main, *comm));
+  if (!exec_) {
+    sim::Engine& eng = *engines_.front();
+    for (auto& comm : comms_) {
+      // Wrap so each rank's coroutine sees its own Comm.
+      eng.spawn([](RankMain fn, mpi::Comm& c) -> sim::Task<void> {
+        co_await fn(c);
+      }(rank_main, *comm));
+    }
+    eng.run();
+  } else {
+    // Partitions may sit at different local times after a previous run
+    // (each stops at its own last event); every rank starts this run at
+    // the global clock so the spawn instant is partition-invariant. Ranks
+    // spawn in ascending order within a partition, matching the
+    // sequential engine's spawn order on each node.
+    const sim::Time t0 = start;
+    exec_->run_round([this, t0, &rank_main](int p) {
+      sim::Engine& eng = *engines_[static_cast<std::size_t>(p)];
+      eng.at(t0, [this, p, &eng, &rank_main] {
+        for (auto& comm : comms_) {
+          const int node = mpi_->node_of(comm->rank());
+          if (plan_.part_of[static_cast<std::size_t>(node)] != p) continue;
+          eng.spawn([](RankMain fn, mpi::Comm& c) -> sim::Task<void> {
+            co_await fn(c);
+          }(rank_main, *comm));
+        }
+      });
+    });
   }
-  eng_->run();
   if constexpr (audit::kEnabled) {
     make_audit_report().require_clean();
   }
-  return eng_->now() - start;
+  return now() - start;
 }
 
 audit::AuditReport Cluster::make_audit_report() {
   audit::AuditReport report;
-  eng_->register_audits(report);
+  for (auto& e : engines_) e->register_audits(report);
   report.add_check("sim::frame_pool", [this](audit::AuditReport::Scope& s) {
     // Empty-at-exit modulo the persistent daemons: every transient frame
     // the run spawned (compute/busy tasks, per-message channel tasks)
@@ -165,6 +292,28 @@ audit::AuditReport Cluster::make_audit_report() {
   if (gm_) gm_->register_audits(report);
   if (elan_) elan_->register_audits(report);
   mpi_->register_audits(report);
+  if (exec_) {
+    report.add_check(
+        "pdes::FabricExecutor", [this](audit::AuditReport::Scope& s) {
+          const auto& st = exec_->part_stats();
+          std::uint64_t sent = 0;
+          std::uint64_t received = 0;
+          for (std::size_t p = 0; p < st.size(); ++p) {
+            sent += st[p].sent;
+            received += st[p].received;
+            s.note("partition " + std::to_string(p) + ": events=" +
+                   std::to_string(st[p].events) + " sent=" +
+                   std::to_string(st[p].sent) + " received=" +
+                   std::to_string(st[p].received) + " batches=" +
+                   std::to_string(st[p].batches) + " lbts_rounds=" +
+                   std::to_string(st[p].lbts_rounds));
+          }
+          s.note("express demotions at partition boundaries: " +
+                 std::to_string(fabric().express_boundary_demotions()));
+          s.require_eq(sent, received,
+                       "cross-partition message(s) lost in flight");
+        });
+  }
   return report;
 }
 

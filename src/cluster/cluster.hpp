@@ -12,6 +12,7 @@
 //   });
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -28,6 +29,7 @@
 #include "mpi/ch_factories.hpp"
 #include "mpi/comm.hpp"
 #include "sim/engine.hpp"
+#include "sim/pdes/fabric_exec.hpp"
 
 namespace mns::cluster {
 
@@ -64,14 +66,20 @@ struct ClusterConfig {
   /// PDES partition count for the run (see src/sim/pdes and
   /// cluster/partition.hpp). 1 — the default — is the sequential engine,
   /// byte-identical to every artifact the repo has ever produced. N > 1
-  /// derives and validates the conservative partition plan (block layout,
-  /// lookahead = the fabric's tx wire latency) and records it on the
-  /// cluster; execution stays on the sequential core because MsgFlow
-  /// completion handlers mutate destination-side pipe state directly —
-  /// the migration of those handlers onto the message-passing PDES
-  /// surface is tracked in ROADMAP.md. The *results* contract is already
-  /// enforced: every config is required (and tested) to produce
-  /// bit-identical digests for any partition count.
+  /// block-partitions the nodes over N private engines, each run on its
+  /// own thread by a pdes::FabricExecutor: a partition owns its nodes'
+  /// pipes, NIC state, recovery timers and MPI procs outright, and every
+  /// cross-partition interaction travels as a timestamped wire message
+  /// (the fabric's split-flow protocol) under the conservative LBTS
+  /// window. Results are required (and chaos-tested) to be bit-identical
+  /// for any partition count, under --express and under fault plans.
+  ///
+  /// Configurations whose hardware shortcut reads or writes remote-node
+  /// state directly — Elan hardware broadcast / rendezvous hardware
+  /// multicast (switch-wide fan-out), fat-tree topologies (shared spine
+  /// pipes), IB on-demand connections (symmetric connection tables) —
+  /// are demoted to sequential execution: the request is validated and
+  /// recorded in partition_plan(), but effective_partitions() reports 1.
   int partitions = 1;
 
   /// Chaos harness (src/fault): deterministic packet drops / corruption,
@@ -109,7 +117,18 @@ class Cluster {
   /// pin-down caches, MPI). Call after run(); see audit/report.hpp.
   audit::AuditReport make_audit_report();
 
-  sim::Engine& engine() { return *eng_; }
+  sim::Engine& engine() { return *engines_.front(); }
+  /// Partition p's engine (p < effective_partitions()).
+  sim::Engine& partition_engine(int p) {
+    return *engines_.at(static_cast<std::size_t>(p));
+  }
+  /// Global simulated time: the furthest any partition has executed.
+  /// Equals engine().now() when running sequentially.
+  sim::Time now() const {
+    sim::Time t = engines_.front()->now();
+    for (const auto& e : engines_) t = std::max(t, e->now());
+    return t;
+  }
   mpi::Mpi& mpi() { return *mpi_; }
   mpi::Comm& comm(int rank) { return *comms_.at(static_cast<std::size_t>(rank)); }
   int ranks() const { return static_cast<int>(comms_.size()); }
@@ -132,9 +151,18 @@ class Cluster {
   /// default is the trivial single-partition plan.
   const PartitionPlan& partition_plan() const { return plan_; }
 
+  /// Partitions actually executing in parallel: cfg.partitions, or 1
+  /// when the configuration was demoted to sequential (see the
+  /// ClusterConfig::partitions comment for the demotion rules).
+  int effective_partitions() const { return effective_partitions_; }
+
  private:
   ClusterConfig cfg_;
-  std::unique_ptr<sim::Engine> eng_;
+  // engines_[p] owns partition p's share of the machine; engines_[0] is
+  // the sequential engine when effective_partitions_ == 1.
+  std::vector<std::unique_ptr<sim::Engine>> engines_;
+  int effective_partitions_ = 1;
+  std::unique_ptr<sim::pdes::FabricExecutor> exec_;
   // Coroutine frames outstanding in the thread's frame pool right after
   // construction (the persistent daemon loops). The finalize audit checks
   // the pool returns to exactly this level — any excess is a leaked frame.

@@ -58,8 +58,10 @@ ElanConfig default_elan_config(std::size_t nodes) {
 }
 
 ElanFabric::ElanFabric(sim::Engine& eng, std::vector<model::NodeHw*> nodes,
-                       const ElanConfig& cfg)
-    : NetFabric(eng, std::move(nodes), cfg.switch_cfg, cfg.nic), cfg_(cfg) {
+                       const ElanConfig& cfg,
+                       const model::FabricPartitioning* parts)
+    : NetFabric(eng, std::move(nodes), cfg.switch_cfg, cfg.nic, parts),
+      cfg_(cfg) {
   set_recovery(cfg_.recovery);
   mmu_.reserve(node_count());
   for (std::size_t i = 0; i < node_count(); ++i) {

@@ -52,7 +52,8 @@ ElanConfig default_elan_config(std::size_t nodes);
 class ElanFabric final : public model::NetFabric {
  public:
   ElanFabric(sim::Engine& eng, std::vector<model::NodeHw*> nodes,
-             const ElanConfig& cfg);
+             const ElanConfig& cfg,
+             const model::FabricPartitioning* parts = nullptr);
 
   std::uint64_t memory_bytes(int node) const;
 

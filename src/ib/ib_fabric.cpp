@@ -53,8 +53,10 @@ IbConfig default_ib_config(std::size_t nodes) {
 }
 
 IbFabric::IbFabric(sim::Engine& eng, std::vector<model::NodeHw*> nodes,
-                   const IbConfig& cfg)
-    : NetFabric(eng, std::move(nodes), cfg.switch_cfg, cfg.nic), cfg_(cfg) {
+                   const IbConfig& cfg,
+                   const model::FabricPartitioning* parts)
+    : NetFabric(eng, std::move(nodes), cfg.switch_cfg, cfg.nic, parts),
+      cfg_(cfg) {
   set_recovery(cfg_.recovery);
   regcache_.reserve(node_count());
   for (std::size_t i = 0; i < node_count(); ++i) {

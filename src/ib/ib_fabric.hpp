@@ -51,7 +51,8 @@ IbConfig default_ib_config(std::size_t nodes);
 class IbFabric final : public model::NetFabric {
  public:
   IbFabric(sim::Engine& eng, std::vector<model::NodeHw*> nodes,
-           const IbConfig& cfg);
+           const IbConfig& cfg,
+           const model::FabricPartitioning* parts = nullptr);
 
   /// MPI-visible memory footprint on `node` (paper Fig. 13): eager
   /// all-to-all RC connections by default; with on-demand connections

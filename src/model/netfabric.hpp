@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>  // simlint-allow: model-alloc
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -43,6 +44,11 @@
 namespace mns::audit {
 class AuditReport;
 }
+
+namespace mns::sim::pdes {
+class FabricExecutor;
+struct WireMsg;
+}  // namespace mns::sim::pdes
 
 namespace mns::model {
 
@@ -125,10 +131,19 @@ struct NicConfig {
   sim::Time ack_delay = sim::Time::zero();  // wire time for the ack
 };
 
+/// Partition layout for PDES execution of the fabric: which partition
+/// owns each node, and each partition's private Engine. Null/absent means
+/// sequential execution on the constructor's engine (partition count 1).
+struct FabricPartitioning {
+  std::vector<int> part_of;           // node -> partition
+  std::vector<sim::Engine*> engines;  // partition -> engine
+};
+
 class NetFabric {
  public:
   NetFabric(sim::Engine& eng, std::vector<NodeHw*> nodes,
-            const SwitchConfig& sw, const NicConfig& nic);
+            const SwitchConfig& sw, const NicConfig& nic,
+            const FabricPartitioning* parts = nullptr);
   virtual ~NetFabric();
   NetFabric(const NetFabric&) = delete;
   NetFabric& operator=(const NetFabric&) = delete;
@@ -143,11 +158,36 @@ class NetFabric {
   SwitchTopology& topology() { return *topo_; }
   const NicConfig& nic_config() const { return nic_; }
 
-  std::uint64_t messages_posted() const { return posted_; }
-  std::uint64_t messages_delivered() const { return delivered_; }
+  /// Partition ownership (all zero / the constructor engine when built
+  /// without a FabricPartitioning).
+  int partition_of(int node) const {
+    return part_of_[static_cast<std::size_t>(node)];
+  }
+  sim::Engine& node_engine(int node) const {
+    return *node_eng_[static_cast<std::size_t>(node)];
+  }
+  int partitions() const { return partitions_; }
+
+  /// Attach the PDES executor carrying the split-flow wire protocol:
+  /// registers one message handler per node and the box deleter. Must be
+  /// called once, before any traffic, when constructed partitioned.
+  void bind_executor(sim::pdes::FabricExecutor& exec);
+
+  /// Run `fn` on the partition owning `dst_node`, as if scheduled from
+  /// `src_node`: immediately (inline) when both nodes share a partition —
+  /// the sequential behaviour — otherwise as a timestamped channel call
+  /// one lookahead in the future. Cross-partition MPI error paths
+  /// (recv-side teardown on a sender-side transport error) route through
+  /// this instead of touching remote state directly.
+  void run_on_node(int src_node, int dst_node,
+                   // simlint-allow: model-alloc (error path only)
+                   std::function<void()> fn);
+
+  std::uint64_t messages_posted() const { return sum(&Shard::posted); }
+  std::uint64_t messages_delivered() const { return sum(&Shard::delivered); }
   /// Messages whose recovery budget was exhausted (surfaced via
   /// NetMsg::on_failed). posted == delivered + errored at finalize.
-  std::uint64_t messages_errored() const { return errored_; }
+  std::uint64_t messages_errored() const { return sum(&Shard::errored); }
 
   /// Install a fault plan (chaos harness). Must be called before the
   /// simulation runs; an empty plan is a no-op, keeping the data path
@@ -159,11 +199,17 @@ class NetFabric {
 
   // Fault/recovery conservation counters. Law (audited at finalize):
   //   dropped + corrupted + gbn_discarded == retransmitted + abandoned.
-  std::uint64_t packets_dropped() const { return faults_drop_; }
-  std::uint64_t packets_corrupted() const { return faults_corrupt_; }
-  std::uint64_t packets_gbn_discarded() const { return gbn_discards_; }
-  std::uint64_t packets_retransmitted() const { return packets_retransmitted_; }
-  std::uint64_t packets_abandoned() const { return packets_abandoned_; }
+  std::uint64_t packets_dropped() const { return sum(&Shard::faults_drop); }
+  std::uint64_t packets_corrupted() const {
+    return sum(&Shard::faults_corrupt);
+  }
+  std::uint64_t packets_gbn_discarded() const {
+    return sum(&Shard::gbn_discards);
+  }
+  std::uint64_t packets_retransmitted() const {
+    return sum(&Shard::retransmitted);
+  }
+  std::uint64_t packets_abandoned() const { return sum(&Shard::abandoned); }
 
   /// Enable/disable the uncontended express path (default on). Timing is
   /// bit-identical either way — the toggle exists for the equivalence
@@ -171,10 +217,18 @@ class NetFabric {
   void set_express(bool on) { express_enabled_ = on; }
   bool express_enabled() const { return express_enabled_; }
   /// Messages whose whole window ran express (no demotion).
-  std::uint64_t express_messages() const { return express_msgs_; }
+  std::uint64_t express_messages() const { return sum(&Shard::express_msgs); }
   /// Express launches demoted back to packet granularity by a competing
   /// reservation landing inside the claimed window.
-  std::uint64_t express_demotions() const { return express_demotions_; }
+  std::uint64_t express_demotions() const {
+    return sum(&Shard::express_demotions);
+  }
+  /// Express claims refused up front because the flow's reservation window
+  /// would span a partition boundary (a boundary flow is not provably
+  /// uncontended from one partition's view). Always zero sequentially.
+  std::uint64_t express_boundary_demotions() const {
+    return sum(&Shard::boundary_demotions);
+  }
 
   /// Finalize-time conservation checks: every posted message delivered,
   /// every broadcast completed, all NIC/switch stages idle, no live
@@ -250,14 +304,83 @@ class NetFabric {
   };
   static ChunkPlan chunk_plan(std::uint64_t bytes, std::uint32_t mtu);
 
+  /// Per-partition slice of the fabric's mutable bookkeeping. Every
+  /// counter and the MsgFlow pool are sharded by owning partition so
+  /// partitioned execution never shares a cache line across workers;
+  /// accessors sum at finalize. Sequential fabrics have exactly one
+  /// shard, making the sharding a pure rename of the old members.
+  struct Shard {
+    // Pooled MsgFlow slab (tx halves launched here + rx halves of
+    // boundary flows terminating here).
+    std::vector<std::unique_ptr<MsgFlow>> slab;
+    MsgFlow* free_list = nullptr;
+    std::size_t flows_active = 0;
+    // Live halves of split flows owned by this partition (tx halves of
+    // outbound boundary flows, rx halves of inbound ones), keyed by the
+    // globally-unique flow key.
+    std::unordered_map<std::uint64_t, MsgFlow*> wire_flows;
+    std::uint64_t posted = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t errored = 0;
+    std::uint64_t bcasts_posted = 0;
+    std::uint64_t bcasts_delivered = 0;
+    std::uint64_t express_msgs = 0;
+    std::uint64_t express_demotions = 0;
+    std::uint64_t boundary_demotions = 0;
+    std::uint64_t faults_drop = 0;
+    std::uint64_t faults_corrupt = 0;
+    std::uint64_t gbn_discards = 0;
+    std::uint64_t retransmitted = 0;
+    std::uint64_t abandoned = 0;
+  };
+
+  std::uint64_t sum(std::uint64_t Shard::*m) const {
+    std::uint64_t s = 0;
+    for (const auto& sh : shards_) s += (*sh).*m;
+    return s;
+  }
+  Shard& shard_of_node(int node) {
+    return *shards_[static_cast<std::size_t>(
+        part_of_[static_cast<std::size_t>(node)])];
+  }
+  Shard& shard_of(const MsgFlow& f);
+  bool is_boundary(int src, int dst) const {
+    return part_of_[static_cast<std::size_t>(src)] !=
+           part_of_[static_cast<std::size_t>(dst)];
+  }
+
   sim::Task<void> sender_loop(int node_id);
 
-  MsgFlow* acquire_flow();
+  MsgFlow* acquire_flow(Shard& sh);
   void release_flow(MsgFlow& f);
   void maybe_release(MsgFlow& f);
 
   void init_flow(MsgFlow& f, NetMsg msg);
-  bool can_express(const MsgFlow& f) const;
+
+  // ---- Split-flow wire protocol (boundary flows under PDES execution).
+  // The tx half ends at NIC-tx completion; everything beyond the switch
+  // entry runs as an rx half on the destination partition, started and
+  // fed by timestamped executor messages (netfabric.cpp, "split-flow
+  // protocol").
+  void wire_handle(int node, const sim::pdes::WireMsg& m);
+  void wire_open(int dst, const sim::pdes::WireMsg& m);
+  void wire_enter(int dst, const sim::pdes::WireMsg& m);
+  void wire_loss(const sim::pdes::WireMsg& m);
+  void wire_land(const sim::pdes::WireMsg& m);
+  void wire_close(const sim::pdes::WireMsg& m);
+  /// Draw this packet's launch-time fault verdict (boundary flows only:
+  /// same stream, same order, same verdict instants as the sequential
+  /// kTx-time draw) and send the forward ENTER message where the switch
+  /// entry time is already known.
+  void launch_boundary_packet(MsgFlow& f, std::uint64_t p, sim::Time t_tx);
+  /// Reserve the destination rx stage for an rx-half packet and decide
+  /// its predetermined fate (CRC discard / Go-Back-N gap) — computable
+  /// one stage early, which is what gives the reverse LOSS message its
+  /// lookahead slack while reporting the exact sequential detection time.
+  void rx_half_reserve_rx(MsgFlow& f, std::uint64_t p, sim::Time done);
+  void finish_boundary_delivery(MsgFlow& f);
+
+  bool can_express(const MsgFlow& f);
   /// Bulk-apply the flow and claim its window; false when the closed form
   /// cannot represent the packet path faithfully (rx-overtake, see
   /// replay_flow) — pipes are rolled back and the caller must run the
@@ -292,28 +415,22 @@ class NetFabric {
   std::vector<std::unique_ptr<Pipe>> rx_;
   std::vector<std::unique_ptr<Pipe>> nic_proc_;  // shared protocol processor
   std::vector<std::unique_ptr<sim::Mailbox<NetMsg>>> sendq_;
-  // Frame-pool-style slab of recycled MsgFlow objects: `flow_slab_` owns,
-  // `flow_free_` threads the idle ones, `flows_active_` is audited back to
-  // zero at finalize.
-  std::vector<std::unique_ptr<MsgFlow>> flow_slab_;
-  MsgFlow* flow_free_ = nullptr;
-  std::size_t flows_active_ = 0;
+  // One Shard per partition (heap-allocated so MsgFlow needs only the
+  // forward declaration here). Sequentially there is exactly one.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Partition layout: node -> owning partition / owning engine. All
+  // zeros / all eng_ when constructed without a FabricPartitioning.
+  std::vector<int> part_of_;
+  std::vector<sim::Engine*> node_eng_;
+  int partitions_ = 1;
+  sim::pdes::FabricExecutor* exec_ = nullptr;
+  // Per-source-node sequence numbers for boundary flow keys (only the
+  // owning partition touches its nodes' counters).
+  std::vector<std::uint64_t> flow_seq_;
   bool express_enabled_ = true;
-  std::uint64_t express_msgs_ = 0;
-  std::uint64_t express_demotions_ = 0;
-  std::uint64_t posted_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t bcasts_posted_ = 0;
-  std::uint64_t bcasts_delivered_ = 0;
   // Fault injection + recovery (null injector = lossless fabric).
   std::unique_ptr<fault::Injector> injector_;
   RecoveryConfig recovery_;
-  std::uint64_t errored_ = 0;
-  std::uint64_t faults_drop_ = 0;
-  std::uint64_t faults_corrupt_ = 0;
-  std::uint64_t gbn_discards_ = 0;
-  std::uint64_t packets_retransmitted_ = 0;
-  std::uint64_t packets_abandoned_ = 0;
 };
 
 }  // namespace mns::model

@@ -42,8 +42,10 @@ RdvChannel::RdvChannel(Mpi& mpi, model::NetFabric& fabric,
       memory_(std::move(memory)) {
   shm_.reserve(fabric_->node_count());
   for (std::size_t n = 0; n < fabric_->node_count(); ++n) {
-    shm_.push_back(
-        std::make_unique<shm::ShmDomain>(fabric_->engine(), cfg_.shm));
+    // Intra-node traffic only ever touches the node's own domain, so each
+    // domain lives on the engine owning that node's partition.
+    shm_.push_back(std::make_unique<shm::ShmDomain>(
+        fabric_->node_engine(static_cast<int>(n)), cfg_.shm));
   }
 }
 
@@ -135,32 +137,45 @@ void RdvChannel::on_shm_arrival(
 // would have, so a posted (or future) receive completes with
 // Status::error == kErrFabric instead of waiting forever.
 
-void RdvChannel::fail_recv_side(const Envelope& env) {
-  auto& rp = mpi_->proc(env.dst);
-  host_gate(rp)([this, env, &rp] {
-    rp.cpu().accrue_overhead(cfg_.o_recv);
-    if (auto pr = rp.matcher().match_arrival(env)) {
-      pr->req->complete(error_status(env));
-    } else {
-      rp.matcher().add_unexpected(
-          {env, [env](PostedRecv pr) -> sim::Task<void> {
-             pr.req->complete(error_status(env));
-             co_return;
-           }});
-    }
+void RdvChannel::fail_recv_side(const Envelope& env, int from_node) {
+  // on_failed hooks fire on the engine owning the failed message's source
+  // node; the receiver's matcher and CPU belong to its own partition, so
+  // the teardown routes there (inline when they share a partition).
+  fabric_->run_on_node(from_node, mpi_->node_of(env.dst), [this, env] {
+    auto& rp = mpi_->proc(env.dst);
+    host_gate(rp)([this, env, &rp] {
+      rp.cpu().accrue_overhead(cfg_.o_recv);
+      if (auto pr = rp.matcher().match_arrival(env)) {
+        pr->req->complete(error_status(env));
+      } else {
+        rp.matcher().add_unexpected(
+            {env, [env](PostedRecv pr) -> sim::Task<void> {
+               pr.req->complete(error_status(env));
+               co_return;
+             }});
+      }
+    });
   });
 }
 
-void RdvChannel::fail_rendezvous(std::shared_ptr<RdvState> st) {
+void RdvChannel::fail_rendezvous(std::shared_ptr<RdvState> st,
+                                 int from_node) {
   const Envelope env = st->send.env;
-  if (!st->send.req->done) st->send.req->complete(error_status(env));
-  if (st->recv_matched) {
-    // The receiver already matched (RTS made it); complete its request
-    // directly rather than re-running the matcher.
-    if (!st->recv.req->done) st->recv.req->complete(error_status(env));
-  } else {
-    fail_recv_side(env);
-  }
+  // Each side's request completes on its own partition; the done flags
+  // are checked inside the routed closures, where the owning engine's
+  // view of them is current.
+  fabric_->run_on_node(from_node, mpi_->node_of(env.src), [st, env] {
+    if (!st->send.req->done) st->send.req->complete(error_status(env));
+  });
+  fabric_->run_on_node(from_node, mpi_->node_of(env.dst), [this, st, env] {
+    if (st->recv_matched) {
+      // The receiver already matched (RTS made it); complete its request
+      // directly rather than re-running the matcher.
+      if (!st->recv.req->done) st->recv.req->complete(error_status(env));
+    } else {
+      fail_recv_side(env, mpi_->node_of(env.dst));
+    }
+  });
 }
 
 // --- eager path -------------------------------------------------------------
@@ -186,9 +201,9 @@ sim::Task<void> RdvChannel::send_eager(SendOp op) {
   m.on_failed = [this, req, env] {
     // Eager sends complete when the data leaves the NIC, so the send
     // request is normally already done here; only the receiver still
-    // waits on the lost payload.
+    // waits on the lost payload. Fires on the sender's partition.
     if (!req->done) req->complete(error_status(env));
-    fail_recv_side(env);
+    fail_recv_side(env, mpi_->node_of(env.src));
   };
   fabric_->post(std::move(m));
 }
@@ -228,7 +243,7 @@ void RdvChannel::deliver_buffered(
   auto shared_pr = std::make_shared<PostedRecv>(std::move(pr));
   // Completion processing runs on the receiving host CPU: concurrent
   // arrivals serialize through the rank's host-work queue.
-  mpi_->engine().spawn(
+  mpi_->engine_of(env.dst).spawn(
       [](Proc& rp, sim::Time cost, Envelope env,
          std::shared_ptr<std::vector<std::byte>> payload,
          std::shared_ptr<PostedRecv> pr) -> sim::Task<void> {
@@ -276,7 +291,7 @@ sim::Task<void> RdvChannel::send_rendezvous(SendOp op) {
   rts.dst = mpi_->node_of(st->send.env.dst);
   rts.bytes = cfg_.ctrl_bytes;
   rts.remote_arrival = [this, st] { on_rts(st); };
-  rts.on_failed = [this, st] { fail_rendezvous(st); };
+  rts.on_failed = [this, st, snode] { fail_rendezvous(st, snode); };
   fabric_->post(std::move(rts));
 }
 
@@ -314,7 +329,9 @@ void RdvChannel::on_rts(std::shared_ptr<RdvState> st) {
              cts.dst = mpi_->node_of(st->send.env.src);
              cts.bytes = cfg_.ctrl_bytes;
              cts.remote_arrival = [this, st] { on_cts(st); };
-             cts.on_failed = [this, st] { fail_rendezvous(st); };
+             cts.on_failed = [this, st, dnode] {
+               fail_rendezvous(st, dnode);
+             };
              fabric_->post(std::move(cts));
            }});
     }
@@ -337,19 +354,22 @@ void RdvChannel::issue_cts(std::shared_ptr<RdvState> st) {
     }
   }
   rp.cpu().accrue_overhead(cost);
-  mpi_->engine().spawn(
-      [](RdvChannel& self, Proc& rp, sim::Time cost,
-         std::shared_ptr<RdvState> st, int dnode) -> sim::Task<void> {
-        co_await rp.host_work().occupy(cost);
-        model::NetMsg cts;
-        cts.src = dnode;
-        cts.dst = self.mpi_->node_of(st->send.env.src);
-        cts.bytes = self.cfg_.ctrl_bytes;
-        cts.remote_arrival = [&self, st] { self.on_cts(st); };
-        cts.on_failed = [&self, st] { self.fail_rendezvous(st); };
-        self.fabric_->post(std::move(cts));
-      }(*this, rp, cost, st, dnode),
-      /*daemon=*/true);
+  mpi_->engine_of(st->send.env.dst)
+      .spawn(
+          [](RdvChannel& self, Proc& rp, sim::Time cost,
+             std::shared_ptr<RdvState> st, int dnode) -> sim::Task<void> {
+            co_await rp.host_work().occupy(cost);
+            model::NetMsg cts;
+            cts.src = dnode;
+            cts.dst = self.mpi_->node_of(st->send.env.src);
+            cts.bytes = self.cfg_.ctrl_bytes;
+            cts.remote_arrival = [&self, st] { self.on_cts(st); };
+            cts.on_failed = [&self, st, dnode] {
+              self.fail_rendezvous(st, dnode);
+            };
+            self.fabric_->post(std::move(cts));
+          }(*this, rp, cost, st, dnode),
+          /*daemon=*/true);
 }
 
 void RdvChannel::on_cts(std::shared_ptr<RdvState> st) {
@@ -359,13 +379,14 @@ void RdvChannel::on_cts(std::shared_ptr<RdvState> st) {
     // CTS processing occupies the sender host before the data goes out;
     // with many rendezvous sends in flight these serialize — part of why
     // the paper's Fig. 2 bandwidth dips at the eager->rendezvous switch.
-    mpi_->engine().spawn(
-        [](RdvChannel& self, Proc& sp,
-           std::shared_ptr<RdvState> st) -> sim::Task<void> {
-          co_await sp.host_work().occupy(self.cfg_.o_ctrl);
-          self.post_rendezvous_data(st);
-        }(*this, sp, st),
-        /*daemon=*/true);
+    mpi_->engine_of(st->send.env.src)
+        .spawn(
+            [](RdvChannel& self, Proc& sp,
+               std::shared_ptr<RdvState> st) -> sim::Task<void> {
+              co_await sp.host_work().occupy(self.cfg_.o_ctrl);
+              self.post_rendezvous_data(st);
+            }(*this, sp, st),
+            /*daemon=*/true);
   });
 }
 
@@ -392,7 +413,7 @@ void RdvChannel::post_rendezvous_data(std::shared_ptr<RdvState> st) {
     fin.remote_arrival = [this, st, env] {
       auto& rp = mpi_->proc(env.dst);
       rp.cpu().accrue_overhead(cfg_.o_recv);
-      mpi_->engine().spawn(
+      mpi_->engine_of(env.dst).spawn(
           [](RdvChannel& self, Proc& rp,
              std::shared_ptr<RdvState> st, Envelope env) -> sim::Task<void> {
             co_await rp.host_work().occupy(self.cfg_.o_recv);
@@ -400,7 +421,9 @@ void RdvChannel::post_rendezvous_data(std::shared_ptr<RdvState> st) {
           }(*this, rp, st, env),
           /*daemon=*/true);
     };
-    fin.on_failed = [this, st] { fail_rendezvous(st); };
+    fin.on_failed = [this, st, env] {
+      fail_rendezvous(st, mpi_->node_of(env.src));
+    };
     fabric_->post(std::move(fin));
   };
   data.remote_arrival = [st, env] {
@@ -409,7 +432,9 @@ void RdvChannel::post_rendezvous_data(std::shared_ptr<RdvState> st) {
     copy_payload(st->send.buf, st->recv.buf,
                  std::min<std::uint64_t>(env.bytes, st->recv.buf.bytes()));
   };
-  data.on_failed = [this, st] { fail_rendezvous(st); };
+  data.on_failed = [this, st, env] {
+    fail_rendezvous(st, mpi_->node_of(env.src));
+  };
   fabric_->post(std::move(data));
 }
 

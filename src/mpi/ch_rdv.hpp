@@ -101,10 +101,10 @@ class RdvChannel final : public Device {
   /// Route a transport-failure "error envelope" through the receiver's
   /// matcher so its (posted or future) receive completes with an error
   /// Status instead of hanging.
-  void fail_recv_side(const Envelope& env);
+  void fail_recv_side(const Envelope& env, int from_node);
   /// A rendezvous leg (RTS/CTS/data/FIN) exhausted the fabric's retry
   /// budget: complete both sides with an error Status.
-  void fail_rendezvous(std::shared_ptr<RdvState> st);
+  void fail_rendezvous(std::shared_ptr<RdvState> st, int from_node);
 
   /// Receiver matched (event context): deliver buffered payload after the
   /// receive-side cost and complete the request.

@@ -85,7 +85,7 @@ sim::Task<void> Comm::bcast_p2p(View buf, Rank root, Tag tag) {
 }
 
 sim::Task<void> Comm::bcast_impl(View buf, Rank root) {
-  buf = mpi_->canon(buf);
+  buf = mpi_->canon(rank_, buf);
   mpi_->recorder().on_collective(rank_, "Bcast", buf.bytes(), buf.addr());
   const std::uint64_t seq = coll_seq_;
   const Tag tag = next_coll_tag();
@@ -143,7 +143,7 @@ sim::Task<void> Comm::reduce_p2p(View buf, std::size_t count, Dtype dtype,
 
 sim::Task<void> Comm::reduce_impl(View buf, std::size_t count, Dtype dtype,
                              ROp op, Rank root) {
-  buf = mpi_->canon(buf);
+  buf = mpi_->canon(rank_, buf);
   mpi_->recorder().on_collective(rank_, "Reduce", buf.bytes(), buf.addr());
   const Tag tag = next_coll_tag();
   if (size() == 1) co_return;
@@ -152,7 +152,7 @@ sim::Task<void> Comm::reduce_impl(View buf, std::size_t count, Dtype dtype,
 
 sim::Task<void> Comm::allreduce_impl(View buf, std::size_t count, Dtype dtype,
                                 ROp op) {
-  buf = mpi_->canon(buf);
+  buf = mpi_->canon(rank_, buf);
   mpi_->recorder().on_collective(rank_, "Allreduce", buf.bytes(),
                                  buf.addr());
   const std::uint64_t seq = coll_seq_;
@@ -199,8 +199,8 @@ sim::Task<void> Comm::allreduce_impl(View buf, std::size_t count, Dtype dtype,
 
 sim::Task<void> Comm::alltoall_impl(View sendbuf, View recvbuf,
                                std::uint64_t per_rank) {
-  sendbuf = mpi_->canon(sendbuf);
-  recvbuf = mpi_->canon(recvbuf);
+  sendbuf = mpi_->canon(rank_, sendbuf);
+  recvbuf = mpi_->canon(rank_, recvbuf);
   mpi_->recorder().on_collective(rank_, "Alltoall", sendbuf.bytes(),
                                  sendbuf.addr());
   const Tag tag = next_coll_tag();
@@ -235,8 +235,8 @@ sim::Task<void> Comm::alltoall_impl(View sendbuf, View recvbuf,
 sim::Task<void> Comm::alltoallv_impl(
     View sendbuf, const std::vector<std::uint64_t>& send_counts,
     View recvbuf, const std::vector<std::uint64_t>& recv_counts) {
-  sendbuf = mpi_->canon(sendbuf);
-  recvbuf = mpi_->canon(recvbuf);
+  sendbuf = mpi_->canon(rank_, sendbuf);
+  recvbuf = mpi_->canon(rank_, recvbuf);
   mpi_->recorder().on_collective(rank_, "Alltoallv", sendbuf.bytes(),
                                  sendbuf.addr());
   const Tag tag = next_coll_tag();
@@ -276,8 +276,8 @@ sim::Task<void> Comm::alltoallv_impl(
 
 sim::Task<void> Comm::allgather_impl(View sendpart, View recvbuf,
                                 std::uint64_t per_rank) {
-  sendpart = mpi_->canon(sendpart);
-  recvbuf = mpi_->canon(recvbuf);
+  sendpart = mpi_->canon(rank_, sendpart);
+  recvbuf = mpi_->canon(rank_, recvbuf);
   mpi_->recorder().on_collective(rank_, "Allgather", sendpart.bytes(),
                                  sendpart.addr());
   const Tag tag = next_coll_tag();
@@ -305,8 +305,8 @@ sim::Task<void> Comm::allgather_impl(View sendpart, View recvbuf,
 
 sim::Task<void> Comm::gather_impl(View sendpart, View recvbuf,
                              std::uint64_t per_rank, Rank root) {
-  sendpart = mpi_->canon(sendpart);
-  recvbuf = mpi_->canon(recvbuf);
+  sendpart = mpi_->canon(rank_, sendpart);
+  recvbuf = mpi_->canon(rank_, recvbuf);
   mpi_->recorder().on_collective(rank_, "Gather", sendpart.bytes(),
                                  sendpart.addr());
   const Tag tag = next_coll_tag();
@@ -332,8 +332,8 @@ sim::Task<void> Comm::gather_impl(View sendpart, View recvbuf,
 
 sim::Task<void> Comm::scatter_impl(View sendbuf, View recvpart,
                               std::uint64_t per_rank, Rank root) {
-  sendbuf = mpi_->canon(sendbuf);
-  recvpart = mpi_->canon(recvpart);
+  sendbuf = mpi_->canon(rank_, sendbuf);
+  recvpart = mpi_->canon(rank_, recvpart);
   mpi_->recorder().on_collective(rank_, "Scatter", recvpart.bytes(),
                                  recvpart.addr());
   const Tag tag = next_coll_tag();
@@ -359,8 +359,8 @@ sim::Task<void> Comm::scatter_impl(View sendbuf, View recvpart,
 sim::Task<void> Comm::reduce_scatter_block_impl(View buf,
                                            std::size_t count_per_rank,
                                            Dtype dtype, ROp op, View out) {
-  buf = mpi_->canon(buf);
-  out = mpi_->canon(out);
+  buf = mpi_->canon(rank_, buf);
+  out = mpi_->canon(rank_, out);
   mpi_->recorder().on_collective(rank_, "Reduce_scatter", buf.bytes(),
                                  buf.addr());
   const Tag tag = next_coll_tag();
@@ -386,7 +386,7 @@ sim::Task<void> Comm::reduce_scatter_block_impl(View buf,
 
 sim::Task<void> Comm::scan_impl(View buf, std::size_t count, Dtype dtype,
                            ROp op) {
-  buf = mpi_->canon(buf);
+  buf = mpi_->canon(rank_, buf);
   mpi_->recorder().on_collective(rank_, "Scan", buf.bytes(), buf.addr());
   const Tag tag = next_coll_tag();
   const int p = size();
@@ -416,8 +416,8 @@ sim::Task<void> Comm::scan_impl(View buf, std::size_t count, Dtype dtype,
 sim::Task<void> Comm::gatherv_impl(View sendpart, View recvbuf,
                               const std::vector<std::uint64_t>& counts,
                               Rank root) {
-  sendpart = mpi_->canon(sendpart);
-  recvbuf = mpi_->canon(recvbuf);
+  sendpart = mpi_->canon(rank_, sendpart);
+  recvbuf = mpi_->canon(rank_, recvbuf);
   mpi_->recorder().on_collective(rank_, "Gatherv", sendpart.bytes(),
                                  sendpart.addr());
   const Tag tag = next_coll_tag();
@@ -446,8 +446,8 @@ sim::Task<void> Comm::gatherv_impl(View sendpart, View recvbuf,
 sim::Task<void> Comm::scatterv_impl(View sendbuf,
                                const std::vector<std::uint64_t>& counts,
                                View recvpart, Rank root) {
-  sendbuf = mpi_->canon(sendbuf);
-  recvpart = mpi_->canon(recvpart);
+  sendbuf = mpi_->canon(rank_, sendbuf);
+  recvpart = mpi_->canon(rank_, recvpart);
   mpi_->recorder().on_collective(rank_, "Scatterv", recvpart.bytes(),
                                  recvpart.addr());
   const Tag tag = next_coll_tag();

@@ -32,7 +32,7 @@ class Comm {
   sim::Cpu& cpu() const { return mpi_->proc(rank_).cpu(); }
 
   /// Simulated wall-clock in seconds (MPI_Wtime).
-  double wtime() const { return mpi_->engine().now().to_seconds(); }
+  double wtime() const { return mpi_->engine_of(rank_).now().to_seconds(); }
 
   /// Application computation for `seconds` (outside MPI: devices without
   /// NIC-side protocol engines cannot make rendezvous progress meanwhile).

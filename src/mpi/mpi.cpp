@@ -6,34 +6,45 @@
 
 namespace mns::mpi {
 
-std::uint64_t Mpi::canon_addr(std::uint64_t addr, std::uint64_t bytes) {
+std::uint64_t Mpi::canon_addr(Rank r, std::uint64_t addr,
+                              std::uint64_t bytes) {
   // Granularity: the finest model page size in use (IB/GM use 4 KiB,
   // Elan 8 KiB), so distinct model pages never merge. The canonical base
   // sits above the skeletons' synthetic address space (0x4000'0000'0000 +
   // rank<<32) so the two ranges cannot collide in the per-node caches.
+  // Partitioned jobs additionally salt the base by rank and number pages
+  // in per-rank maps: cross-rank first-touch order is a thread-scheduling
+  // artifact there, and a shared map would make canonical addresses (and
+  // so regcache/MMU timing) run-to-run nondeterministic.
   constexpr std::uint64_t kPage = 4096;
   constexpr std::uint64_t kBase = 0x7000'0000'0000ULL;
+  auto& pages = partitioned_
+                    ? canon_rank_pages_[static_cast<std::size_t>(r)]
+                    : canon_pages_;
+  auto& next = partitioned_ ? canon_rank_next_[static_cast<std::size_t>(r)]
+                            : canon_next_page_;
+  const std::uint64_t base =
+      partitioned_ ? kBase + ((static_cast<std::uint64_t>(r) + 1) << 40)
+                   : kBase;
   const std::uint64_t first = addr / kPage;
   const std::uint64_t last = (addr + bytes - 1) / kPage;
   // First touch reserves the buffer's whole page range in one walk, so a
   // contiguous real buffer stays contiguous canonically and slices handed
   // to MPI later (which re-derive raw addresses from the payload pointer)
   // land inside the parent's reservation.
-  if (!canon_pages_.count(first) || !canon_pages_.count(last)) {
+  if (!pages.count(first) || !pages.count(last)) {
     for (std::uint64_t p = first; p <= last; ++p) {
-      if (canon_pages_.try_emplace(p, canon_next_page_).second) {
-        ++canon_next_page_;
-      }
+      if (pages.try_emplace(p, next).second) ++next;
     }
   }
-  return kBase + canon_pages_[first] * kPage + addr % kPage;
+  return base + pages[first] * kPage + addr % kPage;
 }
 
 void Mpi::register_audits(audit::AuditReport& report) {
   report.add_check("mpi::Mpi", [this](audit::AuditReport::Scope& s) {
-    s.require_eq(ledger_.created, ledger_.completed,
+    s.require_eq(ledger_.created.load(), ledger_.completed.load(),
                  "request(s) created but never completed");
-    s.require_eq(ledger_.double_completed, std::uint64_t{0},
+    s.require_eq(ledger_.double_completed.load(), std::uint64_t{0},
                  "request(s) completed more than once");
     for (const auto& proc : procs_) {
       const std::string rank = "rank " + std::to_string(proc->rank());

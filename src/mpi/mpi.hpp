@@ -39,7 +39,13 @@ struct Topology {
 
 class Mpi {
  public:
-  Mpi(sim::Engine& eng, Topology topo)
+  /// `node_eng`, when non-empty, maps node index -> the engine that owns
+  /// that node under partitioned (PDES) execution; each rank's Proc — its
+  /// CPU, matcher and deferred queue — is built on its node's engine so
+  /// every touch of that state happens on the owning partition's thread.
+  /// Empty (the default) puts every rank on `eng`, the sequential layout.
+  Mpi(sim::Engine& eng, Topology topo,
+      const std::vector<sim::Engine*>& node_eng = {})
       : eng_(&eng), topo_(std::move(topo)),
         recorder_(topo_.rank_node.size()) {
     std::vector<int> slot_counter(
@@ -53,15 +59,30 @@ class Mpi {
     procs_.reserve(topo_.rank_node.size());
     for (std::size_t r = 0; r < topo_.rank_node.size(); ++r) {
       const int node = topo_.rank_node[r];
+      sim::Engine& pe =
+          node_eng.empty() ? eng
+                           : *node_eng.at(static_cast<std::size_t>(node));
+      if (&pe != &eng) partitioned_ = true;
       procs_.push_back(std::make_unique<Proc>(
-          eng, static_cast<Rank>(r), node,
+          pe, static_cast<Rank>(r), node,
           slot_counter[static_cast<std::size_t>(node)]++));
+    }
+    if (partitioned_) {
+      canon_rank_pages_.resize(procs_.size());
+      canon_rank_next_.assign(procs_.size(), 0);
     }
   }
 
   void set_device(std::unique_ptr<Device> dev) { device_ = std::move(dev); }
 
   sim::Engine& engine() const { return *eng_; }
+  /// The engine owning `r`'s node (== engine() when not partitioned).
+  /// Work done on behalf of rank `r` from another rank's context — request
+  /// completion, deferred handoff, buffered-delivery copies — must be
+  /// scheduled here, not on engine().
+  sim::Engine& engine_of(Rank r) {
+    return procs_.at(static_cast<std::size_t>(r))->engine();
+  }
   Device& device() const {
     if (!device_) throw std::logic_error("Mpi: no device installed");
     return *device_;
@@ -89,16 +110,23 @@ class Mpi {
   /// (same page => same page, offsets intact) while making the values a
   /// pure function of this job's deterministic call order. Synthetic and
   /// already-canonical views pass through unchanged.
-  View canon(View v) {
+  ///
+  /// The calling rank selects the numbering space. Sequential layout: one
+  /// shared first-touch map (call order across ranks is deterministic).
+  /// Partitioned layout: ranks on different engines canonicalize
+  /// concurrently and their interleaving is scheduling-dependent, so each
+  /// rank numbers pages in a private space whose base is salted by rank —
+  /// deterministic per rank, disjoint across ranks.
+  View canon(Rank r, View v) {
     if (v.synthetic() || v.canonical() || v.bytes() == 0) return v;
-    return v.rebased(canon_addr(v.addr(), v.bytes()));
+    return v.rebased(canon_addr(r, v.addr(), v.bytes()));
   }
 
   /// Canonical address the recorder/device should see for `v` (same map
   /// as canon(), without rebasing the view).
-  std::uint64_t canon_addr(const View& v) {
+  std::uint64_t canon_addr(Rank r, const View& v) {
     if (v.synthetic() || v.canonical() || v.bytes() == 0) return v.addr();
-    return canon_addr(v.addr(), v.bytes());
+    return canon_addr(r, v.addr(), v.bytes());
   }
 
   /// Request-completion conservation ledger; every RequestState the job
@@ -151,7 +179,7 @@ class Mpi {
   void drop_collective_slot(std::uint64_t seq) { slots_.erase(seq); }
 
  private:
-  std::uint64_t canon_addr(std::uint64_t addr, std::uint64_t bytes);
+  std::uint64_t canon_addr(Rank r, std::uint64_t addr, std::uint64_t bytes);
 
   sim::Engine* eng_;
   Topology topo_;
@@ -163,6 +191,10 @@ class Mpi {
   std::unordered_map<std::uint64_t, std::unique_ptr<CollSlot>> slots_;
   std::unordered_map<std::uint64_t, std::uint64_t> canon_pages_;
   std::uint64_t canon_next_page_ = 0;
+  bool partitioned_ = false;
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>>
+      canon_rank_pages_;
+  std::vector<std::uint64_t> canon_rank_next_;
 };
 
 }  // namespace mns::mpi

@@ -49,7 +49,8 @@ struct RankStats {
 
 class Recorder {
  public:
-  explicit Recorder(std::size_t ranks) : ranks_(ranks), seen_(ranks) {}
+  explicit Recorder(std::size_t ranks)
+      : ranks_(ranks), seen_(ranks), coll_ops_(ranks) {}
 
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
@@ -70,10 +71,15 @@ class Recorder {
   /// Sum across ranks (the paper reports whole-application numbers).
   RankStats totals() const;
 
-  /// Per-collective-op call counts across all ranks.
-  const std::unordered_map<std::string, std::uint64_t>& collective_ops()
-      const {
-    return collective_ops_;
+  /// Per-collective-op call counts across all ranks. Counts are kept
+  /// per rank (each rank's MPI calls may execute on its partition's
+  /// thread under PDES execution) and merged here at read time.
+  std::unordered_map<std::string, std::uint64_t> collective_ops() const {
+    std::unordered_map<std::string, std::uint64_t> merged;
+    for (const auto& per_rank : coll_ops_) {
+      for (const auto& [op, n] : per_rank) merged[op] += n;
+    }
+    return merged;
   }
 
  private:
@@ -82,7 +88,7 @@ class Recorder {
   bool enabled_ = true;
   std::vector<RankStats> ranks_;
   std::vector<std::unordered_set<std::uint64_t>> seen_;
-  std::unordered_map<std::string, std::uint64_t> collective_ops_;
+  std::vector<std::unordered_map<std::string, std::uint64_t>> coll_ops_;
 };
 
 }  // namespace mns::prof

@@ -1,0 +1,354 @@
+#include "sim/pdes/fabric_exec.hpp"
+
+#include "util/annotations.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mns::sim::pdes {
+
+namespace {
+
+constexpr std::int64_t kInf = INT64_MAX;
+
+std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  return a >= kInf - b ? kInf : a + b;
+}
+
+// Max-heap comparator inverted into min-heap (when, src, idx) pops —
+// the partition-invariant delivery order.
+struct MsgAfter {
+  bool operator()(const WireMsg& a, const WireMsg& b) const noexcept {
+    if (a.when_ps != b.when_ps) return a.when_ps > b.when_ps;
+    if (a.src_node != b.src_node) return a.src_node > b.src_node;
+    return a.send_idx > b.send_idx;
+  }
+};
+
+}  // namespace
+
+FabricExecutor::FabricExecutor(Topology topo, std::vector<Engine*> engines)
+    : topo_(std::move(topo)),
+      engines_(std::move(engines)),
+      handlers_(static_cast<std::size_t>(topo_.nodes)),
+      send_idx_(static_cast<std::size_t>(topo_.nodes), 0),
+      stats_(static_cast<std::size_t>(topo_.partitions)),
+      idle_(static_cast<std::size_t>(topo_.partitions), false),
+      errors_(static_cast<std::size_t>(topo_.partitions)) {
+  topo_.validate();
+  if (engines_.size() != static_cast<std::size_t>(topo_.partitions)) {
+    throw std::invalid_argument(
+        "FabricExecutor: need exactly one engine per partition");
+  }
+  const int k = topo_.partitions;
+  parts_.resize(static_cast<std::size_t>(k));
+  for (auto& p : parts_) p = std::make_unique<Part>();
+  chan_.resize(static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
+  for (auto& c : chan_) c = std::make_unique<Channel>();
+  pool_.reserve(static_cast<std::size_t>(k > 1 ? k - 1 : 0));
+  for (int p = 1; p < k; ++p) {
+    pool_.emplace_back([this, p] { thread_main(p); });
+  }
+}
+
+FabricExecutor::~FabricExecutor() {
+  {
+    std::lock_guard<std::mutex> g(round_mu_);
+    quit_ = true;
+  }
+  round_cv_.notify_all();
+  for (auto& th : pool_) th.join();
+  // Abort-path hygiene: free any boxed descriptors still buffered.
+  for (auto& ch : chan_) {
+    for (WireMsg& m : ch->buf) discard(m);
+  }
+  for (auto& part : parts_) {
+    for (WireMsg& m : part->pending) discard(m);
+  }
+}
+
+void FabricExecutor::set_handler(int node, WireHandler h) {
+  handlers_[static_cast<std::size_t>(node)] = std::move(h);
+}
+
+void FabricExecutor::set_box_deleter(std::function<void(void*)> d) {
+  box_deleter_ = std::move(d);
+}
+
+void FabricExecutor::discard(WireMsg& m) {
+  if (m.box != nullptr && box_deleter_) box_deleter_(m.box);
+  m.box = nullptr;
+}
+
+void FabricExecutor::send(int src_node, int dst_node, Time when,
+                          std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                          void* box) {
+  const int p = topo_.part_of[static_cast<std::size_t>(src_node)];
+  const int q = topo_.part_of[static_cast<std::size_t>(dst_node)];
+  const std::int64_t now_ps = engines_[static_cast<std::size_t>(p)]
+                                  ->now()
+                                  .count_ps();
+  const std::int64_t when_ps = when.count_ps();
+  if (when_ps < sat_add(now_ps, topo_.lookahead.count_ps())) {
+    throw std::logic_error(
+        "FabricExecutor: send violates lookahead (when < now + lookahead)");
+  }
+  WireMsg m;
+  m.when_ps = when_ps;
+  m.src_node = src_node;
+  m.dst_node = dst_node;
+  m.send_idx = send_idx_[static_cast<std::size_t>(src_node)]++;
+  m.a = a;
+  m.b = b;
+  m.c = c;
+  m.box = box;
+  Part& mine = *parts_[static_cast<std::size_t>(p)];
+  if (q == p) {
+    // Amortized growth of the owner's merge heap; same-partition sends
+    // re-enter through it so ordering is layout-independent.
+    mine.pending.push_back(m);  // simcheck-allow: hot-alloc
+    std::push_heap(mine.pending.begin(), mine.pending.end(), MsgAfter{});
+    return;
+  }
+  stats_[static_cast<std::size_t>(p)].sent += 1;
+  sent_.fetch_add(1, std::memory_order_seq_cst);
+  Channel& ch = channel(p, q);
+  std::lock_guard<std::mutex> g(ch.mu);
+  if (when_ps < ch.min_when.load(std::memory_order_seq_cst)) {
+    ch.min_when.store(when_ps, std::memory_order_seq_cst);
+  }
+  // Channel buffers keep their capacity across rounds; growth is a
+  // warm-up cost, not a steady-state one.
+  ch.buf.push_back(m);  // simcheck-allow: hot-alloc
+}
+
+void FabricExecutor::run_round(const std::function<void(int)>& setup) {
+  const int k = topo_.partitions;
+  if (k == 1) {
+    // Degenerate single-partition round: the sequential engine, no
+    // synchronization protocol at all (Cluster normally bypasses the
+    // executor entirely in this case).
+    setup(0);
+    engines_[0]->run();
+    return;
+  }
+  for (auto& part : parts_) part->known.store(0, std::memory_order_seq_cst);
+  std::fill(idle_.begin(), idle_.end(), false);
+  sent_.store(0, std::memory_order_seq_cst);
+  received_.store(0, std::memory_order_seq_cst);
+  done_.store(false, std::memory_order_seq_cst);
+  abort_.store(false, std::memory_order_seq_cst);
+  errors_.assign(static_cast<std::size_t>(k), nullptr);
+  {
+    std::lock_guard<std::mutex> g(round_mu_);
+    setup_ = &setup;
+    done_workers_ = 0;
+    ++round_gen_;
+  }
+  round_cv_.notify_all();
+  round(0);
+  {
+    std::unique_lock<std::mutex> lk(round_mu_);
+    park_cv_.wait(lk, [&] { return done_workers_ == k - 1; });
+    setup_ = nullptr;
+  }
+  for (std::size_t p = 0; p < errors_.size(); ++p) {
+    if (errors_[p]) std::rethrow_exception(errors_[p]);
+  }
+}
+
+void FabricExecutor::thread_main(int p) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* setup = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(round_mu_);
+      round_cv_.wait(lk, [&] { return quit_ || round_gen_ > seen; });
+      if (quit_) return;
+      seen = round_gen_;
+      setup = setup_;
+    }
+    (void)setup;
+    round(p);
+    {
+      std::lock_guard<std::mutex> g(round_mu_);
+      ++done_workers_;
+    }
+    park_cv_.notify_one();
+  }
+}
+
+void FabricExecutor::round(int p) {
+  Engine& eng = *engines_[static_cast<std::size_t>(p)];
+  try {
+    if (setup_) (*setup_)(p);
+    loop(p, eng);
+    if (!abort_.load(std::memory_order_acquire) && eng.live_processes() > 0) {
+      throw DeadlockError(eng.live_processes());
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> g(term_mu_);
+    errors_[static_cast<std::size_t>(p)] = std::current_exception();
+    abort_.store(true, std::memory_order_release);
+  }
+}
+
+// The barrier-free LBTS loop; structurally the proof-carrying loop of
+// pdes.cpp (see the seqlock and termination comments there).
+void FabricExecutor::loop(int p, Engine& eng) {
+  Part& mine = *parts_[static_cast<std::size_t>(p)];
+  PartStats& st = stats_[static_cast<std::size_t>(p)];
+  const std::int64_t la = topo_.lookahead.count_ps();
+  bool is_idle = false;
+  for (;;) {
+    if (abort_.load(std::memory_order_acquire)) return;
+    if (done_.load(std::memory_order_acquire)) break;
+
+    st.lbts_rounds += 1;
+    std::int64_t m = kInf;
+    for (;;) {
+      const std::uint64_t g0 = gen_.load(std::memory_order_seq_cst);
+      if ((g0 & 1) == 0) {
+        m = kInf;
+        for (const auto& ch : chan_) {
+          m = std::min(m, ch->min_when.load(std::memory_order_seq_cst));
+        }
+        for (const auto& part : parts_) {
+          m = std::min(m, part->known.load(std::memory_order_seq_cst));
+        }
+        if (gen_.load(std::memory_order_seq_cst) == g0) break;
+      }
+      if (abort_.load(std::memory_order_relaxed)) return;
+    }
+    const std::int64_t safe = sat_add(m, la);
+
+    drain(p, is_idle);
+
+    bool progressed = false;
+    for (;;) {
+      const std::int64_t t_local = eng.next_event_at_ps();
+      const std::int64_t t_chan =
+          mine.pending.empty() ? kInf : mine.pending.front().when_ps;
+      const std::int64_t t = std::min(t_local, t_chan);
+      if (t >= safe) break;
+      if (t_chan <= t_local) {
+        deliver_batch(mine, eng, p, t_chan);
+      } else {
+        eng.step_one();
+      }
+      progressed = true;
+      if (abort_.load(std::memory_order_relaxed)) return;
+    }
+    st.events = eng.events_processed();
+
+    const std::int64_t horizon =
+        std::min(eng.next_event_at_ps(),
+                 mine.pending.empty() ? kInf : mine.pending.front().when_ps);
+    const std::int64_t prev = mine.known.load(std::memory_order_relaxed);
+    if (horizon > prev) {
+      remove_evidence(
+          [&] { mine.known.store(horizon, std::memory_order_seq_cst); });
+    } else if (horizon < prev) {
+      mine.known.store(horizon, std::memory_order_seq_cst);
+    }
+
+    if (horizon == kInf) {
+      std::lock_guard<std::mutex> g(term_mu_);
+      if (!is_idle) {
+        idle_[static_cast<std::size_t>(p)] = true;
+        is_idle = true;
+      }
+      if (std::all_of(idle_.begin(), idle_.end(), [](bool b) { return b; }) &&
+          sent_.load(std::memory_order_seq_cst) ==
+              received_.load(std::memory_order_seq_cst)) {
+        done_.store(true, std::memory_order_release);
+        break;
+      }
+    }
+    if (!progressed) std::this_thread::yield();
+  }
+}
+
+// MNS_HOT: the pending-heap push_back grows amortized — capacity is
+// retained across rounds, so steady state stops allocating once the heap
+// has seen its high-water mark.
+MNS_HOT void FabricExecutor::drain(int p, bool& is_idle) {
+  Part& mine = *parts_[static_cast<std::size_t>(p)];
+  const int k = topo_.partitions;
+  std::vector<WireMsg> got;
+  for (int q = 0; q < k; ++q) {
+    if (q == p) continue;
+    Channel& ch = channel(q, p);
+    if (ch.min_when.load(std::memory_order_seq_cst) == kInf) continue;
+    got.clear();
+    {
+      std::lock_guard<std::mutex> g(ch.mu);
+      got.swap(ch.buf);
+      std::int64_t mn = kInf;
+      for (const WireMsg& msg : got) mn = std::min(mn, msg.when_ps);
+      if (mn < mine.known.load(std::memory_order_seq_cst)) {
+        mine.known.store(mn, std::memory_order_seq_cst);
+      }
+      remove_evidence(
+          [&] { ch.min_when.store(kInf, std::memory_order_seq_cst); });
+    }
+    if (got.empty()) continue;
+    if (is_idle) {
+      std::lock_guard<std::mutex> g(term_mu_);
+      idle_[static_cast<std::size_t>(p)] = false;
+      is_idle = false;
+    }
+    received_.fetch_add(got.size(), std::memory_order_seq_cst);
+    stats_[static_cast<std::size_t>(p)].received += got.size();
+    for (const WireMsg& msg : got) {
+      mine.pending.push_back(msg);
+      std::push_heap(mine.pending.begin(), mine.pending.end(), MsgAfter{});
+    }
+  }
+}
+
+void FabricExecutor::dispatch(const WireMsg& m) {
+  const WireHandler& h = handlers_[static_cast<std::size_t>(m.dst_node)];
+  if (!h) {
+    throw std::logic_error("FabricExecutor: message for node " +
+                           std::to_string(m.dst_node) +
+                           " with no registered handler");
+  }
+  h(m);
+}
+
+// MNS_HOT: one vector per same-timestamp batch, not per message — the
+// batch must outlive this frame (the BatchGuard owns the boxed
+// descriptors until the batch event runs), so it cannot live in a pool
+// keyed to this call.
+MNS_HOT void FabricExecutor::deliver_batch(Part& mine, Engine& eng, int p,
+                                   std::int64_t t) {
+  std::vector<WireMsg> batch;
+  while (!mine.pending.empty() && mine.pending.front().when_ps == t) {
+    std::pop_heap(mine.pending.begin(), mine.pending.end(), MsgAfter{});
+    batch.push_back(mine.pending.back());
+    mine.pending.pop_back();
+  }
+  stats_[static_cast<std::size_t>(p)].batches += 1;
+  // The guard owns the boxed descriptors until each message is actually
+  // dispatched: a batch event destroyed unrun (drop_processes on an
+  // abort path) must still free them.
+  struct BatchGuard {
+    FabricExecutor* ex;
+    std::vector<WireMsg> msgs;
+    ~BatchGuard() {
+      for (WireMsg& m : msgs) ex->discard(m);
+    }
+  };
+  eng.at(Time::ps(t),
+         EventFn::make(
+             [g = std::make_shared<BatchGuard>(this, std::move(batch))]() {
+               for (WireMsg& m : g->msgs) {
+                 g->ex->dispatch(m);
+                 m.box = nullptr;  // ownership passed to the handler
+               }
+             }));
+}
+
+}  // namespace mns::sim::pdes

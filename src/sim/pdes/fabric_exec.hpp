@@ -1,0 +1,179 @@
+// Conservative PDES executor for the cluster fabric (the `--partitions`
+// execution engine behind cluster::Cluster).
+//
+// pdes::run() owns its engines and lives for one call; the cluster needs
+// the inverse shape: the partition Engines are owned by Cluster (pipes,
+// NIC state, MPI procs and their coroutine frames all hang off them and
+// outlive any single run), and Cluster::run() is called repeatedly on
+// the same instance. FabricExecutor therefore
+//   - borrows a fixed vector of Engines, one per partition, for its
+//     whole lifetime;
+//   - keeps one persistent worker thread per partition > 0 (partition 0
+//     always executes on the caller), parked between rounds, so
+//     coroutine frames created while executing partition p's events
+//     always allocate and free on the same thread's frame pool;
+//   - carries a small payload (three words + an optional boxed
+//     descriptor) per message instead of pdes::run()'s single word: the
+//     fabric's split-flow protocol ships a flow descriptor once per
+//     message and per-packet words afterwards.
+//
+// The synchronization protocol — barrier-free LBTS with the
+// evidence-removal seqlock, heap-merged (when, src node, send idx)
+// delivery batches, counting termination — is the one proved out in
+// sim/pdes/pdes.cpp; see that file's comments for the full argument.
+// The merge key is partition-invariant here for the same reason: every
+// component is a pure function of the sending node's deterministic
+// history.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/pdes/pdes.hpp"
+#include "sim/time.hpp"
+
+namespace mns::sim::pdes {
+
+/// One timestamped cross-partition fabric message. (when_ps, src_node,
+/// send_idx) is the deterministic merge key; a/b/c are protocol words
+/// interpreted by the destination handler; `box` optionally carries a
+/// heap descriptor whose ownership passes to the handler (the executor
+/// frees undelivered boxes through the registered deleter on abort).
+struct WireMsg {
+  std::int64_t when_ps = 0;
+  std::int32_t src_node = 0;
+  std::int32_t dst_node = 0;
+  std::uint64_t send_idx = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  void* box = nullptr;
+};
+
+/// Invoked on the destination node's owning partition, at the message
+/// timestamp, in deterministic (when, src node, send idx) order.
+using WireHandler = std::function<void(const WireMsg&)>;
+
+class FabricExecutor {
+ public:
+  /// Per-partition synchronization counters, exposed so the finalize
+  /// audit can surface a skewed partition plan instead of hiding it:
+  /// `events` is the engine's cumulative processed-event count,
+  /// `sent`/`received` count channel messages by the owning side,
+  /// `batches` the carrier events injected to deliver them, and
+  /// `lbts_rounds` the safe-time scans the partition ran.
+  struct PartStats {
+    std::uint64_t events = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t lbts_rounds = 0;
+  };
+
+  /// `engines[p]` is partition p's engine; the executor borrows them
+  /// (Cluster owns engine lifetime). Spawns partitions-1 parked worker
+  /// threads that live until destruction.
+  FabricExecutor(Topology topo, std::vector<Engine*> engines);
+  ~FabricExecutor();
+  FabricExecutor(const FabricExecutor&) = delete;
+  FabricExecutor& operator=(const FabricExecutor&) = delete;
+
+  /// Register `node`'s handler (before the first round; not thread-safe
+  /// against a running round).
+  void set_handler(int node, WireHandler h);
+
+  /// Deleter for WireMsg::box, used only for messages the executor must
+  /// discard itself (abort paths); delivered boxes belong to handlers.
+  void set_box_deleter(std::function<void(void*)> d);
+
+  /// Timestamped message from src_node (must be called on its owning
+  /// partition's thread) to dst_node's handler at absolute time `when`.
+  /// Requires when >= src partition's now + lookahead, intra-partition
+  /// sends included, so workload legality never depends on the layout.
+  void send(int src_node, int dst_node, Time when, std::uint64_t a,
+            std::uint64_t b = 0, std::uint64_t c = 0, void* box = nullptr);
+
+  /// One synchronized round: `setup(p)` runs on partition p's thread
+  /// first (partition 0 inline on the caller), then all partitions
+  /// execute events and channel deliveries to global quiescence.
+  /// Throws the lowest-partition failure after every thread has parked.
+  void run_round(const std::function<void(int)>& setup);
+
+  const std::vector<PartStats>& part_stats() const { return stats_; }
+  const Topology& topology() const { return topo_; }
+  int partitions() const { return topo_.partitions; }
+
+ private:
+  struct Channel {
+    std::mutex mu;
+    std::vector<WireMsg> buf;
+    std::atomic<std::int64_t> min_when{INT64_MAX};
+  };
+  struct Part {
+    std::vector<WireMsg> pending;  // min-heap by (when, src, idx)
+    std::atomic<std::int64_t> known{0};
+  };
+
+  Channel& channel(int from, int to) {
+    return *chan_[static_cast<std::size_t>(from) *
+                      static_cast<std::size_t>(topo_.partitions) +
+                  static_cast<std::size_t>(to)];
+  }
+  void thread_main(int p);
+  void round(int p);
+  void loop(int p, Engine& eng);
+  void drain(int p, bool& is_idle);
+  void deliver_batch(Part& mine, Engine& eng, int p, std::int64_t t);
+  void dispatch(const WireMsg& m);
+  void discard(WireMsg& m);
+  template <typename Store>
+  void remove_evidence(Store&& store) {
+    std::lock_guard<std::mutex> g(gen_mu_);
+    gen_.fetch_add(1, std::memory_order_seq_cst);
+    store();
+    gen_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  const Topology topo_;
+  std::vector<Engine*> engines_;
+  std::vector<std::unique_ptr<Part>> parts_;
+  std::vector<std::unique_ptr<Channel>> chan_;  // [from * K + to]
+  std::vector<WireHandler> handlers_;           // per node
+  std::vector<std::uint64_t> send_idx_;         // per node, owner-thread
+  std::vector<PartStats> stats_;
+  std::function<void(void*)> box_deleter_;
+
+  // Evidence-removal seqlock (see pdes.cpp).
+  std::mutex gen_mu_;
+  std::atomic<std::uint64_t> gen_{0};
+
+  // Termination protocol state, reset per round.
+  std::mutex term_mu_;
+  std::vector<bool> idle_;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> abort_{false};
+  std::vector<std::exception_ptr> errors_;
+
+  // Round/parking protocol: workers wait for round_gen_ to advance (or
+  // quit_), run one round, then report through done_workers_.
+  std::mutex round_mu_;
+  std::condition_variable round_cv_;
+  std::condition_variable park_cv_;
+  std::uint64_t round_gen_ = 0;
+  int done_workers_ = 0;
+  bool quit_ = false;
+  const std::function<void(int)>* setup_ = nullptr;
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace mns::sim::pdes

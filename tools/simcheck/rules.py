@@ -17,6 +17,12 @@ from .model import Finding, Function, SourceModel
 DEFAULT_HOT_ROOTS = [
     r"NetFabric::(flow_step|deliver|lose_packet|arm_rto|resend_lost|"
     r"fail_flow|rto_delay|replay_flow|maybe_release|release_flow)$",
+    # Split-flow wire handlers: these run on the RECEIVING partition's
+    # engine thread (dispatched by FabricExecutor), so any static they
+    # reach is shared across partition threads, not just across engines.
+    r"NetFabric::(wire_handle|wire_open|wire_enter|wire_loss|wire_land|"
+    r"wire_close|launch_boundary_packet|finish_boundary_delivery)$",
+    r"FabricExecutor::(dispatch|deliver_batch|drain|loop)$",
     r"MsgFlow::thunk$",
     r"Injector::(packet_verdict|reg_should_fail)$",
     r"Engine::step$",
