@@ -57,6 +57,12 @@ struct Output {
   // to the seed outputs; N > 1 must produce the same bytes, and the
   // chaos suite enforces it.
   int partitions = 1;
+  // --max-sim-time US: progress guard. A run whose simulated clock would
+  // cross this horizon aborts with the watchdog's progress diagnostic on
+  // stderr and exit code 3 instead of spinning forever (armed chaos
+  // plans meeting misconfigured retry budgets can otherwise livelock).
+  // 0 (the default) means unlimited.
+  sim::Time max_sim_time = sim::Time::zero();
   void emit(const std::string& title, const util::Table& t) const {
     if (csv) {
       t.print_csv(std::cout);
@@ -67,6 +73,14 @@ struct Output {
     }
   }
 };
+
+/// Process-wide --max-sim-time horizon, set by parse_output and consumed
+/// by run_app so the guard covers every harness without threading one
+/// more parameter through thirty call sites. Zero = unlimited.
+inline sim::Time& guard_sim_time() {
+  static sim::Time t = sim::Time::zero();
+  return t;
+}
 
 inline Output parse_output(int argc, char** argv) {
   Output out;
@@ -84,6 +98,9 @@ inline Output parse_output(int argc, char** argv) {
     }
     const bool seed_given = flags.has("seed");
     out.seed = flags.get_uint("seed", 1);
+    out.max_sim_time =
+        sim::Time::us(static_cast<std::int64_t>(
+            flags.get_uint("max-sim-time", 0)));
     const std::string spec = flags.get("faults", "");
     if (!spec.empty()) {
       out.faults = fault::FaultPlan::parse(spec);
@@ -94,6 +111,7 @@ inline Output parse_output(int argc, char** argv) {
     return 0;
   });
   if (rc != 0) std::exit(rc);
+  guard_sim_time() = out.max_sim_time;
   return out;
 }
 
@@ -157,7 +175,8 @@ inline double run_app(const std::string& name, cluster::Net net,
   const int parts = std::min(partitions, static_cast<int>(nodes));
   cluster::ClusterConfig cfg{
       .nodes = nodes, .ppn = ppn, .net = net, .bus = bus,
-      .express = express, .partitions = parts, .faults = faults};
+      .express = express, .partitions = parts, .faults = faults,
+      .max_sim_time = guard_sim_time()};
   cluster::Cluster c(cfg);
   const auto& spec = apps::find_app(name);
   if (!spec.ranks_ok(c.ranks())) {
@@ -165,10 +184,20 @@ inline double run_app(const std::string& name, cluster::Net net,
                                 std::to_string(c.ranks()) + " ranks");
   }
   apps::AppResult r0;
-  c.run([&](mpi::Comm& comm) -> sim::Task<void> {
-    auto r = co_await spec.run_full(comm, apps::Mode::kSkeleton);
-    if (comm.rank() == 0) r0 = r;
-  });
+  try {
+    c.run([&](mpi::Comm& comm) -> sim::Task<void> {
+      auto r = co_await spec.run_full(comm, apps::Mode::kSkeleton);
+      if (comm.rank() == 0) r0 = r;
+    });
+  } catch (const sim::LivelockError& e) {
+    // --max-sim-time guard: surface the progress diagnostic and exit
+    // cleanly with a distinct code rather than letting the exception
+    // unwind through a sweep worker.
+    std::cerr << "--max-sim-time exceeded in " << name << " on "
+              << cluster::net_name(net) << ":\n"
+              << e.report() << '\n';
+    std::exit(3);
+  }
   return r0.app_seconds;
 }
 

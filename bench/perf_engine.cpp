@@ -15,6 +15,7 @@
 #include "fault/fault.hpp"
 #include "ib/ib_fabric.hpp"
 #include "model/node_hw.hpp"
+#include "mpi/comm.hpp"
 #include "sim/engine.hpp"
 #include "sim/pdes/pdes.hpp"
 #include "sim/sync.hpp"
@@ -204,6 +205,83 @@ static void BM_RetransmitStorm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kMsgs);
 }
 BENCHMARK(BM_RetransmitStorm)->Unit(benchmark::kMillisecond);
+
+// Fail-stop degradation hot loop: the 0->1 link dies permanently before
+// the first message, so message #1 runs the full retry cycle, exhausts
+// its budget and teaches the shard the link is dead — and every later
+// 0->1 message takes the sender_loop degradation fast path (bounded
+// backoff + abort_degraded) instead of re-running retransmission.
+// Measures the learned-dead fast-fail cost the graceful-degradation
+// design note promises stays O(1) per message; the healthy 1->0
+// direction runs interleaved as the control.
+static void BM_LinkDownRecovery(benchmark::State& state) {
+  constexpr int kMsgs = 1000;
+  for (auto _ : state) {
+    sim::Engine eng;
+    model::NodeHw a(eng, model::pcix_133(), model::xeon_2003_memcpy());
+    model::NodeHw b(eng, model::pcix_133(), model::xeon_2003_memcpy());
+    std::vector<model::NodeHw*> nodes{&a, &b};
+    ib::IbFabric fab(eng, nodes, ib::default_ib_config(2));
+    fault::FaultPlan plan;
+    plan.set_seed(7).link_down(0, 1, sim::Time::zero());
+    fab.set_fault_plan(plan);
+    int left = kMsgs;
+    std::function<void()> bounce = [&] {
+      if (--left == 0) return;
+      model::NetMsg m;
+      m.src = left % 2;
+      m.dst = 1 - m.src;
+      m.bytes = 16 << 10;
+      m.remote_arrival = bounce;
+      m.on_failed = bounce;  // degraded-path aborts keep the run moving
+      fab.post(std::move(m));
+    };
+    model::NetMsg first;
+    first.src = 0;
+    first.dst = 1;
+    first.bytes = 16 << 10;
+    first.remote_arrival = bounce;
+    first.on_failed = bounce;
+    fab.post(std::move(first));
+    eng.run();
+    benchmark::DoNotOptimize(fab.messages_aborted());
+  }
+  state.SetItemsProcessed(state.iterations() * kMsgs);
+}
+BENCHMARK(BM_LinkDownRecovery)->Unit(benchmark::kMillisecond);
+
+// Fault-aware collective end-to-end: one NIC on an 8-node InfiniBand
+// cluster dies early, and every later allreduce runs the degradation
+// fast path plus the deterministic error-agreement epilogue (the binomial
+// fan-in/fan-out that gives all live ranks the same verdict). Guards the
+// epilogue's overhead and the degraded collective's termination — each
+// round still completes delivered-or-errored.
+static void BM_DegradedAllreduce(benchmark::State& state) {
+  constexpr std::uint64_t kBytes = 4 << 10;
+  constexpr int kRounds = 8;
+  for (auto _ : state) {
+    cluster::ClusterConfig cfg{.nodes = 8,
+                               .net = cluster::Net::kInfiniBand};
+    cfg.faults = fault::FaultPlan(7).nic_down(5, sim::Time::us(5));
+    cluster::Cluster c(cfg);
+    int errors = 0;
+    c.run([&](mpi::Comm& comm) -> sim::Task<void> {
+      const mpi::View buf = mpi::View::synth(
+          0x40000u + (static_cast<unsigned>(comm.rank()) << 16), kBytes);
+      for (int round = 0; round < kRounds; ++round) {
+        co_await comm.allreduce(buf, kBytes / 8, mpi::Dtype::kInt64,
+                                mpi::ROp::kSum);
+        if (comm.rank() == 0 && comm.last_error() != mpi::kErrNone) {
+          ++errors;
+        }
+      }
+    });
+    if (errors == 0) state.SkipWithError("dead NIC never surfaced");
+    benchmark::DoNotOptimize(c.fabric().messages_aborted());
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds);
+}
+BENCHMARK(BM_DegradedAllreduce)->Unit(benchmark::kMillisecond);
 
 // Frame-pool churn: every spawn allocates a Root frame plus a Task frame,
 // and every completion retires both, so each wave recycles its frames

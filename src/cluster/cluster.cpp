@@ -189,6 +189,19 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   }
 
   if (!cfg_.faults.empty()) fabric().set_fault_plan(cfg_.faults);
+  // Fail-stop error notifications pay the executor's conservative slack
+  // as a uniform cross-node wire delay — in sequential runs too — so a
+  // degraded run's timing is bit-identical across partition counts (see
+  // NetFabric::run_on_node). A no-op without a fail-stop clause.
+  fabric().set_error_notify_delay(l_exec);
+  // Fail-stop clauses switch the MPI collectives to their deterministic
+  // error-agreement epilogue (see Comm::finish_collective); transient-only
+  // plans leave the collectives byte-for-byte unchanged.
+  mpi_->set_fail_stop_armed(cfg_.faults.has_fail_stop());
+
+  if (cfg_.max_sim_time > sim::Time::zero()) {
+    for (auto& e : engines_) e->set_time_limit(cfg_.max_sim_time);
+  }
 
   if (parts_n > 1) {
     // The executor's conservative window runs on the tightest protocol
@@ -241,6 +254,38 @@ Cluster::~Cluster() {
 sim::Time Cluster::run(RankMain rank_main) {
   const sim::Time start = now();
   frame_pool_baseline_ = sim::frame_pool::stats().outstanding();
+  try {
+    run_ranks(std::move(rank_main), start);
+  } catch (const sim::LivelockError& e) {
+    // Augment the engine's report with the layers only the cluster can
+    // see: the fabric's per-flow stages and (when partitioned) each
+    // partition's executor counters and local horizon.
+    std::string report = e.report();
+    report += "\n" + fabric().progress_report();
+    for (std::size_t p = 0; p < engines_.size(); ++p) {
+      report += "partition " + std::to_string(p) + ": now=" +
+                engines_[p]->now().str() + " pending=" +
+                std::to_string(engines_[p]->pending_events()) + "\n";
+    }
+    if (exec_) {
+      const auto& st = exec_->part_stats();
+      for (std::size_t p = 0; p < st.size(); ++p) {
+        report += "executor part " + std::to_string(p) + ": events=" +
+                  std::to_string(st[p].events) + " sent=" +
+                  std::to_string(st[p].sent) + " received=" +
+                  std::to_string(st[p].received) + " lbts_rounds=" +
+                  std::to_string(st[p].lbts_rounds) + "\n";
+      }
+    }
+    throw sim::LivelockError(std::move(report));
+  }
+  if constexpr (audit::kEnabled) {
+    make_audit_report().require_clean();
+  }
+  return now() - start;
+}
+
+void Cluster::run_ranks(RankMain rank_main, sim::Time start) {
   if (!exec_) {
     sim::Engine& eng = *engines_.front();
     for (auto& comm : comms_) {
@@ -270,10 +315,6 @@ sim::Time Cluster::run(RankMain rank_main) {
       });
     });
   }
-  if constexpr (audit::kEnabled) {
-    make_audit_report().require_clean();
-  }
-  return now() - start;
 }
 
 audit::AuditReport Cluster::make_audit_report() {

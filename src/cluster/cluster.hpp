@@ -83,10 +83,18 @@ struct ClusterConfig {
   int partitions = 1;
 
   /// Chaos harness (src/fault): deterministic packet drops / corruption,
-  /// link flaps, NIC stalls, and registration failures. Empty (the
-  /// default) leaves the data path bit-identical to a build without the
-  /// fault layer. Parse from a CLI spec with fault::FaultPlan::parse.
+  /// link flaps, NIC stalls, registration failures, and fail-stop
+  /// linkdown/nicdown clauses. Empty (the default) leaves the data path
+  /// bit-identical to a build without the fault layer. Parse from a CLI
+  /// spec with fault::FaultPlan::parse.
   fault::FaultPlan faults;
+
+  /// Progress guard: when nonzero, every engine refuses to advance its
+  /// clock past this horizon and throws sim::LivelockError carrying a
+  /// progress diagnostic (per-flow stage, pending counters, partition
+  /// horizons) instead of running a hung or livelocked simulation
+  /// forever. Zero (the default) means unlimited.
+  sim::Time max_sim_time = sim::Time::zero();
 
   // Ablation/calibration hooks: mutate the default hardware or channel
   // parameters before construction.
@@ -157,6 +165,11 @@ class Cluster {
   int effective_partitions() const { return effective_partitions_; }
 
  private:
+  /// Spawns every rank and drives the engines to completion (one body for
+  /// the sequential and partitioned layouts); run() wraps it with the
+  /// livelock-diagnostic handler.
+  void run_ranks(RankMain rank_main, sim::Time start);
+
   ClusterConfig cfg_;
   // engines_[p] owns partition p's share of the machine; engines_[0] is
   // the sequential engine when effective_partitions_ == 1.

@@ -115,6 +115,14 @@ void ElanFabric::on_aborted(const model::NetMsg& msg) {
   --outstanding_[static_cast<std::size_t>(msg.src)];
 }
 
+sim::Time ElanFabric::degrade_delay(const model::NetMsg&, int round) const {
+  // Escalation semantics: hardware retry is invisible to software until
+  // the ladder tops out. The first degraded DMA pays the full capped
+  // backoff before elanlib's error trap arms; after that the trap fires
+  // on the first timeout and the error word surfaces immediately.
+  return round == 1 ? cfg_.recovery.backoff_cap : cfg_.recovery.rto;
+}
+
 void ElanFabric::register_audits(audit::AuditReport& report) {
   NetFabric::register_audits(report);
   report.add_check("elan::ElanFabric", [this](audit::AuditReport::Scope& s) {

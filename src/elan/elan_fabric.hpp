@@ -79,6 +79,11 @@ class ElanFabric final : public model::NetFabric {
 
   const ElanConfig& config() const { return cfg_; }
 
+  /// Fail-stop degradation counter: hardware-retry ladders escalated to a
+  /// surfaced software error after exhaustion against a dead link/NIC
+  /// (one escalation per link learned dead).
+  std::uint64_t retry_escalations() const { return links_failed(); }
+
   /// Adds Elan-specific invariants: no leaked QDMA descriptors (every
   /// posted send retired) and the flat Quadrics memory footprint.
   void register_audits(audit::AuditReport& report) override;
@@ -95,6 +100,10 @@ class ElanFabric final : public model::NetFabric {
   void on_delivered(const model::NetMsg& msg) override;
   /// Retry exhaustion retires the QDMA descriptor like a delivery would.
   void on_aborted(const model::NetMsg& msg) override;
+  /// First degraded DMA still spins the link-level retry ladder to its
+  /// backoff cap before the error trap arms; later ones surface after a
+  /// single hardware timeout.
+  sim::Time degrade_delay(const model::NetMsg& msg, int round) const override;
 
  private:
   ElanConfig cfg_;

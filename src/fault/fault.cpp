@@ -59,7 +59,8 @@ double parse_prob(const std::string& clause, const std::string& s) {
   return v;
 }
 
-// "SRC-DST" or "*" -> node pair (wildcard = kAnyNode for both ends).
+// "SRC-DST", "*", or one-sided "SRC-*" / "*-DST" -> node pair (each
+// wildcard side = kAnyNode).
 std::pair<int, int> parse_link(const std::string& clause,
                                const std::string& s) {
   if (s == "*") return {kAnyNode, kAnyNode};
@@ -67,9 +68,20 @@ std::pair<int, int> parse_link(const std::string& clause,
   if (dash == std::string::npos) {
     bad_clause(clause, "expected SRC-DST or *");
   }
-  const auto src = parse_u64(clause, s.substr(0, dash));
-  const auto dst = parse_u64(clause, s.substr(dash + 1));
-  return {static_cast<int>(src), static_cast<int>(dst)};
+  const std::string lhs = s.substr(0, dash);
+  const std::string rhs = s.substr(dash + 1);
+  const int src =
+      lhs == "*" ? kAnyNode : static_cast<int>(parse_u64(clause, lhs));
+  const int dst =
+      rhs == "*" ? kAnyNode : static_cast<int>(parse_u64(clause, rhs));
+  return {src, dst};
+}
+
+// Specificity class of a link spec: exact endpoints beat one-sided
+// wildcards beat the full wildcard, regardless of clause order. Folding
+// applies lower classes first so higher classes overwrite them.
+int specificity(int src, int dst) {
+  return (src != kAnyNode ? 1 : 0) + (dst != kAnyNode ? 1 : 0);
 }
 
 int parse_node(const std::string& clause, const std::string& s) {
@@ -96,7 +108,7 @@ FaultPlan& FaultPlan::drop(int src, int dst, double prob) {
   check_prob("FaultPlan::drop", prob);
   check_node("FaultPlan::drop", src, /*allow_any=*/true);
   check_node("FaultPlan::drop", dst, /*allow_any=*/true);
-  links_.push_back({src, dst, prob, 0.0});
+  links_.push_back({src, dst, prob, kUnsetProb});
   return *this;
 }
 
@@ -104,7 +116,7 @@ FaultPlan& FaultPlan::corrupt(int src, int dst, double prob) {
   check_prob("FaultPlan::corrupt", prob);
   check_node("FaultPlan::corrupt", src, /*allow_any=*/true);
   check_node("FaultPlan::corrupt", dst, /*allow_any=*/true);
-  links_.push_back({src, dst, 0.0, prob});
+  links_.push_back({src, dst, kUnsetProb, prob});
   return *this;
 }
 
@@ -131,6 +143,25 @@ FaultPlan& FaultPlan::reg_fail(int node, double prob) {
   check_prob("FaultPlan::reg_fail", prob);
   check_node("FaultPlan::reg_fail", node, /*allow_any=*/true);
   reg_fails_.push_back({node, prob});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_down(int src, int dst, sim::Time at) {
+  check_node("FaultPlan::link_down", src, /*allow_any=*/true);
+  check_node("FaultPlan::link_down", dst, /*allow_any=*/true);
+  if (at < sim::Time::zero()) {
+    throw std::invalid_argument("FaultPlan::link_down: at must be >= 0");
+  }
+  link_downs_.push_back({src, dst, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::nic_down(int node, sim::Time at) {
+  check_node("FaultPlan::nic_down", node, /*allow_any=*/false);
+  if (at < sim::Time::zero()) {
+    throw std::invalid_argument("FaultPlan::nic_down: at must be >= 0");
+  }
+  nic_downs_.push_back({node, at});
   return *this;
 }
 
@@ -179,10 +210,23 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       if (f.size() != 3) bad_clause(clause, "expected regfail:NODE:PROB");
       plan.reg_fail(parse_node(clause, f[1]), parse_prob(clause, f[2]));
       any = true;
+    } else if (kind == "linkdown") {
+      if (f.size() != 3) bad_clause(clause, "expected linkdown:SRC-DST:AT_US");
+      const auto [src, dst] = parse_link(clause, f[1]);
+      const auto at = parse_u64(clause, f[2]);
+      plan.link_down(src, dst, sim::Time::us(static_cast<std::int64_t>(at)));
+      any = true;
+    } else if (kind == "nicdown") {
+      if (f.size() != 3) bad_clause(clause, "expected nicdown:NODE:AT_US");
+      const int node = parse_node(clause, f[1]);
+      if (node == kAnyNode) bad_clause(clause, "nicdown needs a concrete node");
+      const auto at = parse_u64(clause, f[2]);
+      plan.nic_down(node, sim::Time::us(static_cast<std::int64_t>(at)));
+      any = true;
     } else {
       bad_clause(clause,
                  "unknown fault kind (want seed, drop, corrupt, flap, "
-                 "stall, regfail)");
+                 "stall, regfail, linkdown, nicdown)");
     }
   }
   if (!any && !spec.empty()) {
@@ -214,8 +258,12 @@ Injector::Injector(const FaultPlan& plan, std::size_t nodes)
     util::SplitMix64 sm(plan.seed() ^ (0x517c'c1b7'0000'0000ULL + (n << 4)));
     reg_[n].rng = util::Rng(sm.next());
   }
-  // Fold specs into the dense table; a wildcard applies to every matching
-  // link, a concrete spec overrides (last writer wins per field group).
+  // Fold specs into the dense table. A wildcard applies to every matching
+  // link; precedence is by specificity, not clause order: exact SRC-DST
+  // beats one-sided wildcards beats the full wildcard. Folding walks the
+  // spec list once per specificity class in ascending order, so a more
+  // specific spec always writes last. Within one class, later clauses
+  // overwrite earlier ones (documented last-wins tie-break).
   auto each_link = [&](int src, int dst, auto&& fn) {
     for (std::size_t s = 0; s < nodes; ++s) {
       for (std::size_t d = 0; d < nodes; ++d) {
@@ -226,23 +274,52 @@ Injector::Injector(const FaultPlan& plan, std::size_t nodes)
       }
     }
   };
-  for (const LinkFaultSpec& f : plan.links()) {
-    each_link(f.src, f.dst, [&](Link& l) {
-      if (f.drop_prob > 0.0) l.drop = f.drop_prob;
-      if (f.corrupt_prob > 0.0) l.corrupt = f.corrupt_prob;
-    });
-  }
-  for (const FlapSpec& f : plan.flaps()) {
-    each_link(f.src, f.dst, [&](Link& l) {
-      l.flap_from = f.from;
-      l.flap_to = f.to;
-    });
-  }
-  for (const RegFailSpec& f : plan.reg_fails()) {
-    for (std::size_t n = 0; n < nodes; ++n) {
-      if (f.node != kAnyNode && static_cast<std::size_t>(f.node) != n) continue;
-      reg_[n].prob = f.prob;
+  for (int klass = 0; klass <= 2; ++klass) {
+    for (const LinkFaultSpec& f : plan.links()) {
+      if (specificity(f.src, f.dst) != klass) continue;
+      each_link(f.src, f.dst, [&](Link& l) {
+        // kUnsetProb = the clause doesn't touch this field; an explicit
+        // 0.0 DOES fold, so a specific clause can carve a clean link out
+        // of a wildcard.
+        if (f.drop_prob >= 0.0) l.drop = f.drop_prob;
+        if (f.corrupt_prob >= 0.0) l.corrupt = f.corrupt_prob;
+      });
     }
+    for (const FlapSpec& f : plan.flaps()) {
+      if (specificity(f.src, f.dst) != klass) continue;
+      each_link(f.src, f.dst, [&](Link& l) {
+        l.flap_from = f.from;
+        l.flap_to = f.to;
+      });
+    }
+  }
+  // Same rule for regfail: a concrete node beats the wildcard.
+  for (int klass = 0; klass <= 1; ++klass) {
+    for (const RegFailSpec& f : plan.reg_fails()) {
+      if ((f.node != kAnyNode ? 1 : 0) != klass) continue;
+      for (std::size_t n = 0; n < nodes; ++n) {
+        if (f.node != kAnyNode && static_cast<std::size_t>(f.node) != n) {
+          continue;
+        }
+        reg_[n].prob = f.prob;
+      }
+    }
+  }
+  // Fail-stop clauses: overlapping downs take the EARLIEST instant (a link
+  // cannot die twice), so specificity ordering is irrelevant here. A
+  // nicdown folds into every link touching the node, both directions.
+  for (const LinkDownSpec& f : plan.link_downs()) {
+    each_link(f.src, f.dst, [&](Link& l) {
+      if (f.at < l.down_at) l.down_at = f.at;
+    });
+  }
+  for (const NicDownSpec& f : plan.nic_downs()) {
+    each_link(f.node, kAnyNode, [&](Link& l) {
+      if (f.at < l.down_at) l.down_at = f.at;
+    });
+    each_link(kAnyNode, f.node, [&](Link& l) {
+      if (f.at < l.down_at) l.down_at = f.at;
+    });
   }
 }
 

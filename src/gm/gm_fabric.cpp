@@ -112,6 +112,14 @@ void GmFabric::collect_pipes(std::vector<model::Pipe*>& out) {
   for (auto& p : sram_) out.push_back(p.get());
 }
 
+sim::Time GmFabric::degrade_delay(const model::NetMsg&, int round) const {
+  // Round 1: the LANai firmware re-walks its route table looking for an
+  // alternate path (one Go-Back-N timeout's worth of probing). The
+  // single-crossbar topology offers none, so every later send on the
+  // dead route fails fast after a fraction of the timeout.
+  return round == 1 ? cfg_.recovery.rto : cfg_.recovery.rto / 8;
+}
+
 model::Pipe* GmFabric::staging_pipe(int node_id, const model::NetMsg& msg) {
   // Small messages fit comfortably in SRAM buffers; only bulk transfers
   // contend for staging bandwidth.

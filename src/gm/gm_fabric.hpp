@@ -55,6 +55,14 @@ class GmFabric final : public model::NetFabric {
 
   const GmConfig& config() const { return cfg_; }
 
+  /// Fail-stop degradation counter: alternate-route probes run after a
+  /// Go-Back-N give-up was attributed to a dead link/NIC. GM is
+  /// source-routed, so the firmware can fail over when the topology
+  /// offers another path; the modeled cluster hangs every node off one
+  /// Myrinet-2000 crossbar, so each probe enumerates the single route,
+  /// finds it dead, and the error surfaces instead.
+  std::uint64_t route_probes() const { return links_failed(); }
+
   /// Adds GM-specific invariants: flat per-node memory (connectionless
   /// ports), idle SRAM staging, and pin-down cache conservation laws.
   void register_audits(audit::AuditReport& report) override;
@@ -68,6 +76,9 @@ class GmFabric final : public model::NetFabric {
 
  protected:
   model::Pipe* staging_pipe(int node_id, const model::NetMsg& msg) override;
+  /// First degraded send pays the firmware route-table walk; later sends
+  /// fail fast at the send-queue head.
+  sim::Time degrade_delay(const model::NetMsg& msg, int round) const override;
 
  private:
   GmConfig cfg_;

@@ -1,5 +1,6 @@
 #include "ib/ib_fabric.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "audit/report.hpp"
@@ -89,6 +90,8 @@ std::uint64_t IbFabric::memory_bytes(int node) const {
 void IbFabric::register_audits(audit::AuditReport& report) {
   NetFabric::register_audits(report);
   report.add_check("ib::IbFabric", [this](audit::AuditReport::Scope& s) {
+    s.require(qp_teardowns() > 0 || reconnect_attempts() == 0,
+              "RC reconnect attempts priced with no QP ever torn down");
     for (std::size_t n = 0; n < node_count(); ++n) {
       const std::string node = "node " + std::to_string(n);
       s.require(connected_[n].size() <= node_count() - 1,
@@ -118,6 +121,15 @@ void IbFabric::register_audits(audit::AuditReport& report) {
     regcache_[n].register_audits(
         report, "ib::regcache[node " + std::to_string(n) + "]");
   }
+}
+
+sim::Time IbFabric::degrade_delay(const model::NetMsg&, int round) const {
+  // Re-establishment attempt against the dead peer: QP transition +
+  // address exchange, which times out. Backoff doubles per attempt and
+  // caps at 8x the base setup cost so a long stream of sends to a dead
+  // peer drains in bounded time instead of retrying seven RTOs each.
+  const int shift = std::min(round - 1, 3);
+  return cfg_.connection_setup * (std::int64_t{1} << shift);
 }
 
 sim::Time IbFabric::tx_setup(const model::NetMsg& msg) {

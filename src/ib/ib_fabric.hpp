@@ -69,6 +69,15 @@ class IbFabric final : public model::NetFabric {
 
   const IbConfig& config() const { return cfg_; }
 
+  /// Fail-stop degradation counters: RC QPs moved to the error state and
+  /// torn down after retry exhaustion on a dead link/NIC, and the
+  /// re-establishment attempts priced (and failed) against the dead peer.
+  /// Both are views over the base fabric's per-shard degradation state
+  /// (a simulation is single-threaded per partition by contract, so no
+  /// shared mutable counter exists to race on).
+  std::uint64_t qp_teardowns() const { return links_failed(); }
+  std::uint64_t reconnect_attempts() const { return degrade_rounds(); }
+
   /// Adds IB-specific invariants to the fabric checks: RC connection
   /// symmetry, per-QP memory matching the Fig. 13 formula, and the
   /// per-node pin-down cache conservation laws.
@@ -80,6 +89,15 @@ class IbFabric final : public model::NetFabric {
 
  protected:
   sim::Time tx_setup(const model::NetMsg& msg) override;
+  /// RC degradation: retry exhaustion puts the QP in the error state. The
+  /// teardown is modeled in counters + time only — `connected_` is left
+  /// alone because it records which QPs were ever established (the
+  /// Fig. 13 footprint survives a dead peer) and both endpoints'
+  /// partitions write it, so mutating it here would race under PDES.
+  /// On-demand re-establishment against the dead peer: each degraded
+  /// message pays a connection-setup attempt with capped doubling backoff
+  /// before the failure surfaces.
+  sim::Time degrade_delay(const model::NetMsg& msg, int round) const override;
 
  private:
   IbConfig cfg_;

@@ -148,6 +148,7 @@ struct NetFabric::MsgFlow final : Pipe::ClaimOwner {
   // Partition placement (split-flow protocol; see the file comment).
   sim::Engine* eng = nullptr;  // engine owning this half's events
   Shard* shard = nullptr;      // shard owning this half's pool + counters
+  bool in_use = false;         // acquired from the slab, not on the free list
   bool boundary = false;       // tx half of a cross-partition flow
   bool rx_half = false;        // rx half, living on the dst partition
   std::uint64_t flow_key = 0;  // never 0 for split halves
@@ -347,6 +348,24 @@ void NetFabric::bind_executor(sim::pdes::FabricExecutor& exec) {
 void NetFabric::run_on_node(int src_node, int dst_node,
                             // simlint-allow: model-alloc (error path only)
                             std::function<void()> fn) {
+  if (fail_stop_armed_ && src_node != dst_node &&
+      error_notify_delay_ > sim::Time::zero()) {
+    // Uniform cross-node error-notification latency (see the header):
+    // charge the same wire delay whether or not the nodes share a
+    // partition, so degraded runs are bit-identical across partition
+    // counts. Same-node calls stay inline — nothing crosses a wire.
+    const sim::Time when =
+        node_engine(src_node).now() + error_notify_delay_;
+    if (is_boundary(src_node, dst_node)) {
+      auto box = std::make_unique<CallBox>();  // simlint-allow: model-alloc
+      box->fn = std::move(fn);
+      exec_->send(src_node, dst_node, when, wire_word(kWireCall, 0, 0), 0, 0,
+                  box.release());
+    } else {
+      node_engine(dst_node).at(when, sim::EventFn::make(std::move(fn)));
+    }
+    return;
+  }
   if (!is_boundary(src_node, dst_node)) {
     fn();
     return;
@@ -376,6 +395,91 @@ void NetFabric::on_posted(const NetMsg&) {}
 void NetFabric::on_delivered(const NetMsg&) {}
 void NetFabric::on_aborted(const NetMsg&) {}
 bool NetFabric::express_rx_ok(const NetMsg&) const { return true; }
+void NetFabric::on_link_failed(int, int) {}
+sim::Time NetFabric::degrade_delay(const NetMsg&, int) const {
+  return sim::Time::zero();
+}
+
+void NetFabric::learn_link_dead(Shard& sh, int src, int dst) {
+  // The registry was pre-sized by set_fault_plan (fail-stop plans only),
+  // so this path never allocates. Only the shard that owns `src` ever
+  // touches row `src`, so partitions never share rows and the registry
+  // stays deterministic across partition counts.
+  const std::size_t li = link_index(src, dst);
+  if (sh.dead[li] != 0) return;  // already attributed by an earlier flow
+  sh.dead[li] = 1;
+  on_link_failed(src, dst);
+}
+
+// MNS_HOT: degraded-path terminator — counter bumps and callbacks only,
+// no allocation, no flow slab traffic.
+MNS_HOT void NetFabric::abort_degraded(NetMsg msg) {
+  ++shard_of_node(msg.src).aborted;
+  on_aborted(msg);
+  if (msg.on_failed) msg.on_failed();
+}
+
+bool NetFabric::link_known_dead(int src, int dst) const {
+  const Shard& sh = const_cast<NetFabric*>(this)->shard_of_node(src);
+  if (sh.dead.empty()) return false;
+  return sh.dead[link_index(src, dst)] != 0;
+}
+
+std::uint64_t NetFabric::links_failed() const {
+  std::uint64_t n = 0;
+  for (const auto& shp : shards_) {
+    for (const std::uint8_t b : shp->dead) n += b;
+  }
+  return n;
+}
+
+std::uint64_t NetFabric::degrade_rounds() const {
+  std::uint64_t n = 0;
+  for (const auto& shp : shards_) {
+    for (const std::uint32_t r : shp->degrade_round) n += r;
+  }
+  return n;
+}
+
+std::string NetFabric::progress_report() const {
+  // Watchdog diagnostic: enough state to see *where* forward progress
+  // stopped — per-shard message counters, flows still holding slab
+  // entries (with their stage bits), and send-queue depths.
+  std::string r = "netfabric progress report\n";
+  std::uint64_t posted = 0, delivered = 0, errored = 0, aborted = 0;
+  for (const auto& shp : shards_) {
+    posted += shp->posted;
+    delivered += shp->delivered;
+    errored += shp->errored;
+    aborted += shp->aborted;
+  }
+  r += "  posted=" + std::to_string(posted) +
+       " delivered=" + std::to_string(delivered) +
+       " errored=" + std::to_string(errored) +
+       " aborted=" + std::to_string(aborted) + "\n";
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    const Shard& sh = *shards_[si];
+    if (sh.flows_active == 0) continue;
+    r += "  shard " + std::to_string(si) + ": flows_active=" +
+         std::to_string(sh.flows_active) + "\n";
+    for (const auto& fp : sh.slab) {
+      const MsgFlow& f = *fp;
+      // Every acquired flow is a flow that has not terminated — exactly
+      // the set the watchdog wants on record (a flow mid-RTO-handler has
+      // no pending events and no armed timer, but it still holds its
+      // slab entry).
+      if (!f.in_use) continue;
+      r += "    flow " + std::to_string(f.msg.src) + "->" +
+           std::to_string(f.msg.dst) + " bytes=" +
+           std::to_string(f.msg.bytes) + " attempts=" +
+           std::to_string(f.attempts) + " pending=" +
+           std::to_string(f.pending) + (f.rto_armed ? " rto" : "") +
+           (f.fetching ? " fetching" : "") +
+           (f.wire_unresolved > 0 ? " wire" : "") + "\n";
+    }
+  }
+  return r;
+}
 
 NetFabric::ChunkPlan NetFabric::chunk_plan(std::uint64_t bytes,
                                            std::uint32_t mtu) {
@@ -391,9 +495,11 @@ MNS_HOT NetFabric::MsgFlow* NetFabric::acquire_flow(Shard& sh) {
     MsgFlow* f = sh.free_list;
     sh.free_list = f->next_free;
     f->next_free = nullptr;
+    f->in_use = true;
     return f;
   }
   sh.slab.push_back(std::make_unique<MsgFlow>(*this));
+  sh.slab.back()->in_use = true;
   return sh.slab.back().get();
 }
 
@@ -405,6 +511,7 @@ void NetFabric::release_flow(MsgFlow& f) {
   MNS_AUDIT(f.wire_unresolved == 0,
             "flow released with packets still unresolved on the wire");
   --sh.flows_active;
+  f.in_use = false;
   if (f.flow_key != 0) sh.wire_flows.erase(f.flow_key);
   f.flow_key = 0;
   f.msg = NetMsg{};  // drop per-message closures eagerly
@@ -526,6 +633,25 @@ sim::Task<void> NetFabric::sender_loop(int node_id) {
   sim::Engine& eng = *node_eng_[static_cast<std::size_t>(node_id)];
   for (;;) {
     NetMsg msg = co_await queue.receive();
+    if (fail_stop_armed_) {
+      // Degradation fast path: once a retry exhaustion has been
+      // attributed to a permanent failure (learn_link_dead), subsequent
+      // messages on the dead link do not re-run the whole retry cycle.
+      // They pay the fabric's bounded degradation cost (IB reconnect
+      // backoff, GM route probe, Elan escalation) and terminate as
+      // `aborted` — delivered-or-errored holds for every flow, and the
+      // sender NIC is freed for healthy traffic instead of burning its
+      // protocol processor on a dead peer.
+      Shard& sh = shard_of_node(node_id);
+      const std::size_t li = link_index(msg.src, msg.dst);
+      if (!sh.dead.empty() && sh.dead[li] != 0) {
+        const std::uint32_t round = ++sh.degrade_round[li];
+        const sim::Time d = degrade_delay(msg, static_cast<int>(round));
+        if (d > sim::Time::zero()) co_await eng.delay(d);
+        abort_degraded(std::move(msg));
+        continue;
+      }
+    }
     if (nic_.shared_processor) {
       // One protocol processor handles send and receive events: the
       // per-message send work competes with incoming-message work.
@@ -800,6 +926,13 @@ void NetFabric::flow_step(MsgFlow& f, std::uintptr_t w) {
       }
       MNS_AUDIT(f.lost != 0, "retransmit timer fired with nothing lost");
       ++f.attempts;
+      if (f.attempts > watchdog_rounds_) {
+        // Progress watchdog: a flow burned through more retransmit
+        // rounds than any sane retry budget allows (misconfigured
+        // budget meeting a dead component = RTO storm). Fail cleanly
+        // with a diagnostic instead of spinning forever.
+        throw sim::LivelockError(progress_report());
+      }
       if (f.attempts > recovery_.retry_budget) {
         fail_flow(f);
         break;
@@ -988,6 +1121,14 @@ void NetFabric::fail_flow(MsgFlow& f) {
   f.shard->abandoned += abandoned;
   f.lost = 0;
   ++f.shard->errored;
+  if (fail_stop_armed_ && injector_ &&
+      injector_->link_dead(f.msg.src, f.msg.dst, f.eng->now())) {
+    // Attribution: the budget ran out against a permanently dead
+    // link/NIC, not a lossy one. Teach this sender's shard so later
+    // messages on the link take the bounded degradation fast path
+    // instead of re-running the whole retry cycle.
+    learn_link_dead(*f.shard, f.msg.src, f.msg.dst);
+  }
   if (f.boundary) {
     // Tear down the rx half one lookahead out (every wire packet is
     // already resolved — the timer never fires with packets in flight).
@@ -1278,6 +1419,40 @@ void NetFabric::wire_close(const sim::pdes::WireMsg& m) {
 void NetFabric::set_fault_plan(const fault::FaultPlan& plan) {
   if (plan.empty()) return;  // keeps the data path bit-identical
   injector_ = std::make_unique<fault::Injector>(plan, nodes_.size());
+  // Fail-stop clauses arm the degradation machinery. Transient-only
+  // plans leave fail_stop_armed_ false, so the sender_loop fast path
+  // and the collectives' agreement epilogue stay compiled-out at run
+  // time and the existing chaos matrices remain bit-identical.
+  fail_stop_armed_ = plan.has_fail_stop();
+  if (fail_stop_armed_) {
+    // Pre-size every shard's dead-link registry here (construction time,
+    // cold) so learn_link_dead and the sender-loop fast path never
+    // allocate on the simulation's hot path.
+    const std::size_t n2 = nodes_.size() * nodes_.size();
+    for (auto& shp : shards_) {
+      shp->dead.assign(n2, 0);
+      shp->degrade_round.assign(n2, 0);
+    }
+  }
+  for (const fault::LinkDownSpec& ld : plan.link_downs()) {
+    auto bad = [&](int n) {
+      return n != fault::kAnyNode &&
+             (n < 0 || static_cast<std::size_t>(n) >= nodes_.size());
+    };
+    if (bad(ld.src) || bad(ld.dst)) {
+      throw std::invalid_argument(
+          "FaultPlan: linkdown " + std::to_string(ld.src) + "-" +
+          std::to_string(ld.dst) + " but the fabric has " +
+          std::to_string(nodes_.size()) + " nodes");
+    }
+  }
+  for (const fault::NicDownSpec& nd : plan.nic_downs()) {
+    if (nd.node < 0 || static_cast<std::size_t>(nd.node) >= nodes_.size()) {
+      throw std::invalid_argument(
+          "FaultPlan: nicdown on node " + std::to_string(nd.node) +
+          " but the fabric has " + std::to_string(nodes_.size()) + " nodes");
+    }
+  }
   for (const fault::NicStallSpec& st : injector_->nic_stalls()) {
     if (st.node < 0 || static_cast<std::size_t>(st.node) >= nodes_.size()) {
       throw std::invalid_argument(
@@ -1623,9 +1798,11 @@ void NetFabric::collect_pipes(std::vector<Pipe*>& out) {
 
 void NetFabric::register_audits(audit::AuditReport& report) {
   report.add_check("model::NetFabric", [this](audit::AuditReport::Scope& s) {
-    s.require_eq(messages_posted(), messages_delivered() + messages_errored(),
-                 "message(s) posted but neither delivered nor surfaced as "
-                 "a transport error");
+    s.require_eq(messages_posted(),
+                 messages_delivered() + messages_errored() +
+                     messages_aborted(),
+                 "message(s) posted but neither delivered, surfaced as a "
+                 "transport error, nor aborted by degradation");
     s.require_eq(packets_dropped() + packets_corrupted() +
                      packets_gbn_discarded(),
                  packets_retransmitted() + packets_abandoned(),

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>  // simlint-allow: model-alloc
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -179,15 +180,36 @@ class NetFabric {
   /// one lookahead in the future. Cross-partition MPI error paths
   /// (recv-side teardown on a sender-side transport error) route through
   /// this instead of touching remote state directly.
+  ///
+  /// Under a fail-stop plan the cross-NODE delay is uniform instead:
+  /// every src != dst call pays error_notify_delay() whether or not the
+  /// nodes share a partition. The error indication is a wire-borne event
+  /// (a NACK / teardown crossing the link), so it cannot be observed
+  /// faster than the fabric's tightest protocol slack — and charging the
+  /// same delay in sequential runs is what makes fail-stop outcomes
+  /// bit-identical across partition counts.
   void run_on_node(int src_node, int dst_node,
                    // simlint-allow: model-alloc (error path only)
                    std::function<void()> fn);
 
+  /// Wire latency charged to cross-node error notifications under a
+  /// fail-stop plan (see run_on_node). The cluster sets it to the PDES
+  /// executor's conservative slack so sequential and partitioned runs
+  /// charge the same figure.
+  void set_error_notify_delay(sim::Time d) { error_notify_delay_ = d; }
+  sim::Time error_notify_delay() const { return error_notify_delay_; }
+
   std::uint64_t messages_posted() const { return sum(&Shard::posted); }
   std::uint64_t messages_delivered() const { return sum(&Shard::delivered); }
-  /// Messages whose recovery budget was exhausted (surfaced via
-  /// NetMsg::on_failed). posted == delivered + errored at finalize.
+  /// Messages whose recovery protocol ran and exhausted its retry budget
+  /// (surfaced via NetMsg::on_failed).
   std::uint64_t messages_errored() const { return sum(&Shard::errored); }
+  /// Messages fast-failed by the degradation protocol because the fabric
+  /// had already learned the target link is permanently dead — surfaced
+  /// via NetMsg::on_failed without re-running the packet-level retry
+  /// cycle. Always zero without a fail-stop fault plan. Finalize law:
+  ///   posted == delivered + errored + aborted.
+  std::uint64_t messages_aborted() const { return sum(&Shard::aborted); }
 
   /// Install a fault plan (chaos harness). Must be called before the
   /// simulation runs; an empty plan is a no-op, keeping the data path
@@ -195,7 +217,33 @@ class NetFabric {
   /// extend this to arm their own components (regcache failure hooks).
   virtual void set_fault_plan(const fault::FaultPlan& plan);
   bool fault_active() const { return injector_ != nullptr; }
+  /// True when the installed plan contains permanent (fail-stop)
+  /// failures. A static plan property: transient-only plans keep every
+  /// downstream consumer (collective error agreement, degradation
+  /// bookkeeping) on the exact pre-fail-stop code path.
+  bool fail_stop_armed() const { return fail_stop_armed_; }
+  /// True once this fabric has learned (by exhausting a retry budget)
+  /// that link src->dst is permanently dead and degraded it.
+  bool link_known_dead(int src, int dst) const;
+  /// Links whose permanent death has been learned, and messages degraded
+  /// on them since. Derived from per-shard state on demand — the fabrics
+  /// rename these into their own vocabulary (QP teardowns, route probes,
+  /// retry escalations) without keeping shared mutable counters.
+  std::uint64_t links_failed() const;
+  std::uint64_t degrade_rounds() const;
   const RecoveryConfig& recovery_config() const { return recovery_; }
+
+  /// Progress watchdog: a flow whose retransmit rounds exceed this
+  /// ceiling aborts the run with sim::LivelockError + diagnostic (the
+  /// quiescence DeadlockError cannot catch an RTO storm — it schedules
+  /// events forever). The default sits far above any sane retry budget,
+  /// so it only trips on genuinely unbounded protocols.
+  void set_watchdog_rounds(int rounds) { watchdog_rounds_ = rounds; }
+  int watchdog_rounds() const { return watchdog_rounds_; }
+  /// Diagnostic snapshot for the livelock report: per-shard counters,
+  /// live flow stages (src, dst, kind of wait, attempts, pending
+  /// packets), and per-node send-queue depths.
+  std::string progress_report() const;
 
   // Fault/recovery conservation counters. Law (audited at finalize):
   //   dropped + corrupted + gbn_discarded == retransmitted + abandoned.
@@ -271,6 +319,18 @@ class NetFabric {
   /// Recovery gave up on the message (counterpart of on_delivered for the
   /// error path): subclasses release whatever on_posted acquired.
   virtual void on_aborted(const NetMsg& msg);
+  /// Fail-stop degradation hooks. on_link_failed fires once per (src,
+  /// dst) link, on the src node's owning partition, at the moment a
+  /// retry-budget exhaustion is attributed to a permanent failure;
+  /// subclasses tear down per-connection state (IB) or record the
+  /// escalation (Elan). degrade_delay prices the bounded degradation
+  /// work a *subsequent* message on the dead link pays before its
+  /// fast-fail surfaces: `round` counts prior degraded messages on that
+  /// link (1 for the first), so IB can model capped reconnect backoff
+  /// and GM a one-time alternate-route probe. Must be pure functions of
+  /// their arguments (no RNG) so partitioned runs stay bit-identical.
+  virtual void on_link_failed(int src, int dst);
+  virtual sim::Time degrade_delay(const NetMsg& msg, int round) const;
   /// Recovery protocol parameters; subclasses set these in their
   /// constructor from their config.
   void set_recovery(const RecoveryConfig& rc) { recovery_ = rc; }
@@ -322,6 +382,15 @@ class NetFabric {
     std::uint64_t posted = 0;
     std::uint64_t delivered = 0;
     std::uint64_t errored = 0;
+    std::uint64_t aborted = 0;
+    // Fail-stop degradation state, sized nodes*nodes lazily (only when a
+    // fail-stop plan is armed; empty otherwise). Only src nodes owned by
+    // this shard write/read their rows, so partitions never share it.
+    // dead[src*n+dst] != 0 once the link's death was learned;
+    // degrade_round counts degraded messages per dead link (the backoff
+    // input for degrade_delay).
+    std::vector<std::uint8_t> dead;
+    std::vector<std::uint32_t> degrade_round;
     std::uint64_t bcasts_posted = 0;
     std::uint64_t bcasts_delivered = 0;
     std::uint64_t express_msgs = 0;
@@ -407,6 +476,18 @@ class NetFabric {
   void fail_flow(MsgFlow& f);
   sim::Time rto_delay(const MsgFlow& f) const;
 
+  // Fail-stop degradation (no-ops unless the plan has fail-stop clauses).
+  std::size_t link_index(int src, int dst) const {
+    return static_cast<std::size_t>(src) * nodes_.size() +
+           static_cast<std::size_t>(dst);
+  }
+  /// Record that (src, dst) is permanently dead in src's shard and fire
+  /// on_link_failed exactly once per link.
+  void learn_link_dead(Shard& sh, int src, int dst);
+  /// Terminal accounting for a message fast-failed by degradation: counts
+  /// `aborted`, releases subclass resources and surfaces on_failed.
+  void abort_degraded(NetMsg msg);
+
   sim::Engine* eng_;
   std::vector<NodeHw*> nodes_;
   std::unique_ptr<SwitchTopology> topo_;
@@ -431,6 +512,10 @@ class NetFabric {
   // Fault injection + recovery (null injector = lossless fabric).
   std::unique_ptr<fault::Injector> injector_;
   RecoveryConfig recovery_;
+  // Fail-stop degradation + progress watchdog.
+  bool fail_stop_armed_ = false;
+  int watchdog_rounds_ = 1024;
+  sim::Time error_notify_delay_{};  // uniform cross-node notify latency
 };
 
 }  // namespace mns::model

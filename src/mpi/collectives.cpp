@@ -29,7 +29,10 @@ sim::Task<void> Comm::barrier_impl() {
   const std::uint64_t seq = coll_seq_;
   const Tag tag = next_coll_tag();
   const int p = size();
-  if (p == 1) co_return;
+  if (p == 1) {
+    last_error_ = kErrNone;
+    co_return;
+  }
 
   if (mpi_->device().has_hw_broadcast()) {
     // Binomial fan-in to rank 0, then one hardware broadcast releases
@@ -37,17 +40,20 @@ sim::Task<void> Comm::barrier_impl() {
     // release).
     auto& slot = mpi_->collective_slot(seq);
     View tok = View::synth(scratch_addr(rank_, 6), 4);
-    co_await reduce_p2p(tok, 1, Dtype::kByte, ROp::kMax, 0, tag);
+    const int err = co_await reduce_p2p(tok, 1, Dtype::kByte, ROp::kMax, 0,
+                                        tag);
     if (rank_ == 0) {
       mpi_->device().hw_broadcast(0, 4, scratch_addr(0, 0),
                                   [&slot] { slot.trig.fire(); });
     }
     co_await slot.trig.wait();
     if (++slot.arrived == p) mpi_->drop_collective_slot(seq);
+    co_await finish_collective(tag, err);
     co_return;
   }
 
   // Dissemination barrier.
+  int err = kErrNone;
   for (int k = 1; k < p; k <<= 1) {
     const Rank dst = (rank_ + k) % p;
     const Rank src = (rank_ - k + p) % p;
@@ -55,20 +61,24 @@ sim::Task<void> Comm::barrier_impl() {
     View rv = View::synth(scratch_addr(rank_, 2), 4);
     Request rreq = co_await irecv_impl(rv, src, tag, false);
     Request sreq = co_await isend_impl(sv, dst, tag, false);
-    co_await wait(sreq);
-    co_await wait(rreq);
+    const Status sst = co_await wait(sreq);
+    const Status rst = co_await wait(rreq);
+    if (sst.error != kErrNone || rst.error != kErrNone) err = kErrFabric;
   }
+  co_await finish_collective(tag, err);
 }
 
-sim::Task<void> Comm::bcast_p2p(View buf, Rank root, Tag tag) {
+sim::Task<int> Comm::bcast_p2p(View buf, Rank root, Tag tag) {
   const int p = size();
   const int rel = (rank_ - root + p) % p;
+  int err = kErrNone;
   int mask = 1;
   while (mask < p) {
     if (rel & mask) {
       const Rank src = (rel - mask + root) % p;
       Request r = co_await irecv_impl(buf, src, tag, false);
-      co_await wait(r);
+      const Status st = co_await wait(r);
+      if (st.error != kErrNone) err = kErrFabric;
       break;
     }
     mask <<= 1;
@@ -78,10 +88,12 @@ sim::Task<void> Comm::bcast_p2p(View buf, Rank root, Tag tag) {
     if (rel + mask < p) {
       const Rank dst = (rel + mask + root) % p;
       Request r = co_await isend_impl(buf, dst, tag, false);
-      co_await wait(r);
+      const Status st = co_await wait(r);
+      if (st.error != kErrNone) err = kErrFabric;
     }
     mask >>= 1;
   }
+  co_return err;
 }
 
 sim::Task<void> Comm::bcast_impl(View buf, Rank root) {
@@ -89,7 +101,10 @@ sim::Task<void> Comm::bcast_impl(View buf, Rank root) {
   mpi_->recorder().on_collective(rank_, "Bcast", buf.bytes(), buf.addr());
   const std::uint64_t seq = coll_seq_;
   const Tag tag = next_coll_tag();
-  if (size() == 1) co_return;
+  if (size() == 1) {
+    last_error_ = kErrNone;
+    co_return;
+  }
 
   if (mpi_->device().has_hw_broadcast()) {
     auto& slot = mpi_->collective_slot(seq);
@@ -101,16 +116,19 @@ sim::Task<void> Comm::bcast_impl(View buf, Rank root) {
     co_await slot.trig.wait();
     if (rank_ != root) copy_payload(slot.payload, buf, buf.bytes());
     if (++slot.arrived == size()) mpi_->drop_collective_slot(seq);
+    co_await finish_collective(tag, kErrNone);
     co_return;
   }
-  co_await bcast_p2p(buf, root, tag);
+  const int err = co_await bcast_p2p(buf, root, tag);
+  co_await finish_collective(tag, err);
 }
 
-sim::Task<void> Comm::reduce_p2p(View buf, std::size_t count, Dtype dtype,
-                                 ROp op, Rank root, Tag tag) {
+sim::Task<int> Comm::reduce_p2p(View buf, std::size_t count, Dtype dtype,
+                                ROp op, Rank root, Tag tag) {
   const int p = size();
   const int rel = (rank_ - root + p) % p;
   const std::uint64_t bytes = buf.bytes();
+  int err = kErrNone;
 
   std::vector<std::byte> tmp_store;
   View tmp;
@@ -128,17 +146,20 @@ sim::Task<void> Comm::reduce_p2p(View buf, std::size_t count, Dtype dtype,
       if (src_rel < p) {
         const Rank src = (src_rel + root) % p;
         Request r = co_await irecv_impl(tmp, src, tag, false);
-        co_await wait(r);
+        const Status st = co_await wait(r);
+        if (st.error != kErrNone) err = kErrFabric;
         reduce_payload(tmp, buf, count, dtype, op);
       }
     } else {
       const Rank dst = ((rel & ~mask) + root) % p;
       Request r = co_await isend_impl(buf, dst, tag, false);
-      co_await wait(r);
+      const Status st = co_await wait(r);
+      if (st.error != kErrNone) err = kErrFabric;
       break;
     }
     mask <<= 1;
   }
+  co_return err;
 }
 
 sim::Task<void> Comm::reduce_impl(View buf, std::size_t count, Dtype dtype,
@@ -146,8 +167,12 @@ sim::Task<void> Comm::reduce_impl(View buf, std::size_t count, Dtype dtype,
   buf = mpi_->canon(rank_, buf);
   mpi_->recorder().on_collective(rank_, "Reduce", buf.bytes(), buf.addr());
   const Tag tag = next_coll_tag();
-  if (size() == 1) co_return;
-  co_await reduce_p2p(buf, count, dtype, op, root, tag);
+  if (size() == 1) {
+    last_error_ = kErrNone;
+    co_return;
+  }
+  const int err = co_await reduce_p2p(buf, count, dtype, op, root, tag);
+  co_await finish_collective(tag, err);
 }
 
 sim::Task<void> Comm::allreduce_impl(View buf, std::size_t count, Dtype dtype,
@@ -157,9 +182,13 @@ sim::Task<void> Comm::allreduce_impl(View buf, std::size_t count, Dtype dtype,
                                  buf.addr());
   const std::uint64_t seq = coll_seq_;
   const Tag tag = next_coll_tag();
-  if (size() == 1) co_return;
+  if (size() == 1) {
+    last_error_ = kErrNone;
+    co_return;
+  }
 
   const int p = size();
+  int err = kErrNone;
   if (mpi_->device().allreduce_recursive_doubling() && (p & (p - 1)) == 0) {
     // MPICH >= 1.2.5 (MPICH-GM): recursive doubling, log2(p) exchanges.
     std::vector<std::byte> tmp_store;
@@ -172,16 +201,19 @@ sim::Task<void> Comm::allreduce_impl(View buf, std::size_t count, Dtype dtype,
     }
     for (int mask = 1; mask < p; mask <<= 1) {
       const Rank partner = rank_ ^ mask;
-      co_await sendrecv_internal(buf, partner, tag, tmp, partner, tag);
+      const Status st =
+          co_await sendrecv_internal(buf, partner, tag, tmp, partner, tag);
+      if (st.error != kErrNone) err = kErrFabric;
       reduce_payload(tmp, buf, count, dtype, op);
     }
+    co_await finish_collective(tag, err);
     co_return;
   }
 
   // Older MPICH bases (MVAPICH's 1.2.2, Quadrics' 1.2.4): allreduce =
   // reduce to 0, then broadcast. On Quadrics the broadcast half rides the
   // hardware (paper Fig. 12's QSN advantage).
-  co_await reduce_p2p(buf, count, dtype, op, 0, tag);
+  err = co_await reduce_p2p(buf, count, dtype, op, 0, tag);
   if (mpi_->device().has_hw_broadcast()) {
     auto& slot = mpi_->collective_slot(seq);
     if (rank_ == 0) {
@@ -193,8 +225,10 @@ sim::Task<void> Comm::allreduce_impl(View buf, std::size_t count, Dtype dtype,
     if (rank_ != 0) copy_payload(slot.payload, buf, buf.bytes());
     if (++slot.arrived == size()) mpi_->drop_collective_slot(seq);
   } else {
-    co_await bcast_p2p(buf, 0, tag + 1);
+    const int berr = co_await bcast_p2p(buf, 0, tag + 1);
+    if (berr != kErrNone) err = kErrFabric;
   }
+  co_await finish_collective(tag, err);
 }
 
 sim::Task<void> Comm::alltoall_impl(View sendbuf, View recvbuf,
@@ -229,7 +263,12 @@ sim::Task<void> Comm::alltoall_impl(View sendbuf, View recvbuf,
         slice(sendbuf, static_cast<std::uint64_t>(dst) * per_rank, per_rank),
         dst, tag, false));
   }
-  for (auto& r : reqs) co_await wait(r);
+  int err = kErrNone;
+  for (auto& r : reqs) {
+    const Status st = co_await wait(r);
+    if (st.error != kErrNone) err = kErrFabric;
+  }
+  co_await finish_collective(tag, err);
 }
 
 sim::Task<void> Comm::alltoallv_impl(
@@ -271,7 +310,12 @@ sim::Task<void> Comm::alltoallv_impl(
         slice(sendbuf, soff[dst], send_counts[static_cast<std::size_t>(dst)]),
         dst, tag, false));
   }
-  for (auto& r : reqs) co_await wait(r);
+  int err = kErrNone;
+  for (auto& r : reqs) {
+    const Status st = co_await wait(r);
+    if (st.error != kErrNone) err = kErrFabric;
+  }
+  co_await finish_collective(tag, err);
 }
 
 sim::Task<void> Comm::allgather_impl(View sendpart, View recvbuf,
@@ -288,19 +332,22 @@ sim::Task<void> Comm::allgather_impl(View sendpart, View recvbuf,
                      per_rank),
                per_rank);
   // Ring: pass blocks around p-1 times.
+  int err = kErrNone;
   for (int step = 0; step < p - 1; ++step) {
     const Rank dst = (rank_ + 1) % p;
     const Rank src = (rank_ - 1 + p) % p;
     const int send_block = (rank_ - step + p) % p;
     const int recv_block = (rank_ - step - 1 + p) % p;
-    co_await sendrecv_internal(
+    const Status st = co_await sendrecv_internal(
         slice(recvbuf, static_cast<std::uint64_t>(send_block) * per_rank,
               per_rank),
         dst, tag,
         slice(recvbuf, static_cast<std::uint64_t>(recv_block) * per_rank,
               per_rank),
         src, tag);
+    if (st.error != kErrNone) err = kErrFabric;
   }
+  co_await finish_collective(tag, err);
 }
 
 sim::Task<void> Comm::gather_impl(View sendpart, View recvbuf,
@@ -311,6 +358,7 @@ sim::Task<void> Comm::gather_impl(View sendpart, View recvbuf,
                                  sendpart.addr());
   const Tag tag = next_coll_tag();
   const int p = size();
+  int err = kErrNone;
   if (rank_ == root) {
     copy_payload(sendpart,
                  slice(recvbuf, static_cast<std::uint64_t>(rank_) * per_rank,
@@ -323,11 +371,16 @@ sim::Task<void> Comm::gather_impl(View sendpart, View recvbuf,
           slice(recvbuf, static_cast<std::uint64_t>(r) * per_rank, per_rank),
           r, tag, false));
     }
-    for (auto& r : reqs) co_await wait(r);
+    for (auto& r : reqs) {
+      const Status st = co_await wait(r);
+      if (st.error != kErrNone) err = kErrFabric;
+    }
   } else {
     Request r = co_await isend_impl(sendpart, root, tag, false);
-    co_await wait(r);
+    const Status st = co_await wait(r);
+    if (st.error != kErrNone) err = kErrFabric;
   }
+  co_await finish_collective(tag, err);
 }
 
 sim::Task<void> Comm::scatter_impl(View sendbuf, View recvpart,
@@ -338,6 +391,7 @@ sim::Task<void> Comm::scatter_impl(View sendbuf, View recvpart,
                                  recvpart.addr());
   const Tag tag = next_coll_tag();
   const int p = size();
+  int err = kErrNone;
   if (rank_ == root) {
     copy_payload(slice(sendbuf, static_cast<std::uint64_t>(rank_) * per_rank,
                        per_rank),
@@ -349,11 +403,16 @@ sim::Task<void> Comm::scatter_impl(View sendbuf, View recvpart,
           slice(sendbuf, static_cast<std::uint64_t>(r) * per_rank, per_rank),
           r, tag, false));
     }
-    for (auto& r : reqs) co_await wait(r);
+    for (auto& r : reqs) {
+      const Status st = co_await wait(r);
+      if (st.error != kErrNone) err = kErrFabric;
+    }
   } else {
     Request r = co_await irecv_impl(recvpart, root, tag, false);
-    co_await wait(r);
+    const Status st = co_await wait(r);
+    if (st.error != kErrNone) err = kErrFabric;
   }
+  co_await finish_collective(tag, err);
 }
 
 sim::Task<void> Comm::reduce_scatter_block_impl(View buf,
@@ -367,8 +426,9 @@ sim::Task<void> Comm::reduce_scatter_block_impl(View buf,
   const int p = size();
   const std::uint64_t per_bytes = count_per_rank * dtype_size(dtype);
   // MPICH 1.x: reduce to root then scatter.
-  co_await reduce_p2p(buf, count_per_rank * static_cast<std::size_t>(p),
-                      dtype, op, 0, tag);
+  int err = co_await reduce_p2p(buf,
+                                count_per_rank * static_cast<std::size_t>(p),
+                                dtype, op, 0, tag);
   if (rank_ == 0) {
     copy_payload(slice(buf, 0, per_bytes), out, per_bytes);
     std::vector<Request> reqs;
@@ -377,11 +437,16 @@ sim::Task<void> Comm::reduce_scatter_block_impl(View buf,
           slice(buf, static_cast<std::uint64_t>(r) * per_bytes, per_bytes),
           r, tag + 1, false));
     }
-    for (auto& r : reqs) co_await wait(r);
+    for (auto& r : reqs) {
+      const Status st = co_await wait(r);
+      if (st.error != kErrNone) err = kErrFabric;
+    }
   } else {
     Request r = co_await irecv_impl(out, 0, tag + 1, false);
-    co_await wait(r);
+    const Status st = co_await wait(r);
+    if (st.error != kErrNone) err = kErrFabric;
   }
+  co_await finish_collective(tag, err);
 }
 
 sim::Task<void> Comm::scan_impl(View buf, std::size_t count, Dtype dtype,
@@ -390,10 +455,14 @@ sim::Task<void> Comm::scan_impl(View buf, std::size_t count, Dtype dtype,
   mpi_->recorder().on_collective(rank_, "Scan", buf.bytes(), buf.addr());
   const Tag tag = next_coll_tag();
   const int p = size();
-  if (p == 1) co_return;
+  if (p == 1) {
+    last_error_ = kErrNone;
+    co_return;
+  }
 
   // Linear chain (MPICH 1.x): receive the running prefix from rank-1,
   // fold it in, pass the new prefix to rank+1.
+  int err = kErrNone;
   std::vector<std::byte> tmp_store;
   View tmp;
   if (buf.synthetic()) {
@@ -404,13 +473,16 @@ sim::Task<void> Comm::scan_impl(View buf, std::size_t count, Dtype dtype,
   }
   if (rank_ > 0) {
     Request r = co_await irecv_impl(tmp, rank_ - 1, tag, false);
-    co_await wait(r);
+    const Status st = co_await wait(r);
+    if (st.error != kErrNone) err = kErrFabric;
     reduce_payload(tmp, buf, count, dtype, op);
   }
   if (rank_ + 1 < p) {
     Request r = co_await isend_impl(buf, rank_ + 1, tag, false);
-    co_await wait(r);
+    const Status st = co_await wait(r);
+    if (st.error != kErrNone) err = kErrFabric;
   }
+  co_await finish_collective(tag, err);
 }
 
 sim::Task<void> Comm::gatherv_impl(View sendpart, View recvbuf,
@@ -425,6 +497,7 @@ sim::Task<void> Comm::gatherv_impl(View sendpart, View recvbuf,
   if (counts.size() != static_cast<std::size_t>(p)) {
     throw std::invalid_argument("gatherv: one count per rank");
   }
+  int err = kErrNone;
   if (rank_ == root) {
     std::vector<std::uint64_t> off(static_cast<std::size_t>(p) + 1, 0);
     for (int r = 0; r < p; ++r) off[r + 1] = off[r] + counts[r];
@@ -436,11 +509,16 @@ sim::Task<void> Comm::gatherv_impl(View sendpart, View recvbuf,
       reqs.push_back(co_await irecv_impl(
           slice(recvbuf, off[r], counts[r]), r, tag, false));
     }
-    for (auto& r : reqs) co_await wait(r);
+    for (auto& r : reqs) {
+      const Status st = co_await wait(r);
+      if (st.error != kErrNone) err = kErrFabric;
+    }
   } else if (counts[static_cast<std::size_t>(rank_)] > 0) {
     Request r = co_await isend_impl(sendpart, root, tag, false);
-    co_await wait(r);
+    const Status st = co_await wait(r);
+    if (st.error != kErrNone) err = kErrFabric;
   }
+  co_await finish_collective(tag, err);
 }
 
 sim::Task<void> Comm::scatterv_impl(View sendbuf,
@@ -455,6 +533,7 @@ sim::Task<void> Comm::scatterv_impl(View sendbuf,
   if (counts.size() != static_cast<std::size_t>(p)) {
     throw std::invalid_argument("scatterv: one count per rank");
   }
+  int err = kErrNone;
   if (rank_ == root) {
     std::vector<std::uint64_t> off(static_cast<std::size_t>(p) + 1, 0);
     for (int r = 0; r < p; ++r) off[r + 1] = off[r] + counts[r];
@@ -466,19 +545,102 @@ sim::Task<void> Comm::scatterv_impl(View sendbuf,
       reqs.push_back(co_await isend_impl(
           slice(sendbuf, off[r], counts[r]), r, tag, false));
     }
-    for (auto& r : reqs) co_await wait(r);
+    for (auto& r : reqs) {
+      const Status st = co_await wait(r);
+      if (st.error != kErrNone) err = kErrFabric;
+    }
   } else if (counts[static_cast<std::size_t>(rank_)] > 0) {
     Request r = co_await irecv_impl(recvpart, root, tag, false);
-    co_await wait(r);
+    const Status st = co_await wait(r);
+    if (st.error != kErrNone) err = kErrFabric;
   }
+  co_await finish_collective(tag, err);
 }
 
 sim::Task<Status> Comm::sendrecv_internal(View sendbuf, Rank dst, Tag stag,
                                           View recvbuf, Rank src, Tag rtag) {
   Request rreq = co_await irecv_impl(recvbuf, src, rtag, false);
   Request sreq = co_await isend_impl(sendbuf, dst, stag, false);
-  co_await wait(sreq);
-  co_return co_await wait(rreq);
+  const Status sst = co_await wait(sreq);
+  Status rst = co_await wait(rreq);
+  // The exchange is one logical operation: a failed send leg errors the
+  // returned status even when the receive leg completed.
+  if (sst.error != kErrNone) rst.error = sst.error;
+  co_return rst;
+}
+
+sim::Task<int> Comm::agree_error(Tag tag, int err) {
+  const int p = size();
+  if (p == 1) co_return err;
+  // Two sweeps of binomial fan-in to rank 0 + binomial fan-out, rooted at
+  // 0 like reduce_p2p/bcast_p2p with root 0 (rel == rank_). The error bit
+  // rides in the token SIZE: 1 byte = clean, 2 bytes = error. A receiver
+  // infers "error" from either an oversized token or a failed delivery
+  // (the transport completes the receive with kErrFabric when the
+  // sender's path is dead), so the verdict crosses dead subtrees too.
+  // Faults are permanent and there is one error class, so after sweep one
+  // rank 0 holds the OR of every reachable rank's bit and sweep two
+  // spreads a verdict that can no longer change.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    const Tag t = tag + sweep;
+    // Fan-in (binomial reduce structure, root 0).
+    int mask = 1;
+    while (mask < p) {
+      if ((rank_ & mask) == 0) {
+        const int src = rank_ | mask;
+        if (src < p) {
+          View rv = View::synth(scratch_addr(rank_, 7), 2);
+          Request r = co_await irecv_impl(rv, src, t, false);
+          const Status st = co_await wait(r);
+          if (st.error != kErrNone || st.bytes > 1) err = kErrFabric;
+        }
+      } else {
+        const Rank dst = rank_ & ~mask;
+        View sv =
+            View::synth(scratch_addr(rank_, 8), err == kErrNone ? 1 : 2);
+        Request r = co_await isend_impl(sv, dst, t, false);
+        const Status st = co_await wait(r);
+        if (st.error != kErrNone) err = kErrFabric;
+        break;
+      }
+      mask <<= 1;
+    }
+    // Fan-out (binomial bcast structure, root 0).
+    int rmask = 1;
+    while (rmask < p) {
+      if (rank_ & rmask) {
+        const Rank src = rank_ - rmask;
+        View rv = View::synth(scratch_addr(rank_, 9), 2);
+        Request r = co_await irecv_impl(rv, src, t, false);
+        const Status st = co_await wait(r);
+        if (st.error != kErrNone || st.bytes > 1) err = kErrFabric;
+        break;
+      }
+      rmask <<= 1;
+    }
+    rmask >>= 1;
+    while (rmask > 0) {
+      if (rank_ + rmask < p) {
+        const Rank dst = rank_ + rmask;
+        View sv =
+            View::synth(scratch_addr(rank_, 10), err == kErrNone ? 1 : 2);
+        Request r = co_await isend_impl(sv, dst, t, false);
+        const Status st = co_await wait(r);
+        if (st.error != kErrNone) err = kErrFabric;
+      }
+      rmask >>= 1;
+    }
+  }
+  co_return err;
+}
+
+sim::Task<void> Comm::finish_collective(Tag tag, int err) {
+  if (mpi_->fail_stop_armed()) {
+    // Collectives reserve tag..tag+1 for their own phases (stride 4, see
+    // next_coll_tag); the agreement sweeps use tag+2 and tag+3.
+    err = co_await agree_error(tag + 2, err);
+  }
+  last_error_ = err;
 }
 
 

@@ -33,6 +33,11 @@ class Comm {
 
   /// Simulated wall-clock in seconds (MPI_Wtime).
   double wtime() const { return mpi_->engine_of(rank_).now().to_seconds(); }
+  /// Exact simulated time on this rank's engine. Unlike Cluster::now()
+  /// (the max over partition engines, which can trail the last
+  /// application event by PDES teardown bookkeeping) this is an
+  /// application-level timestamp: bit-identical across partition counts.
+  sim::Time now() const { return mpi_->engine_of(rank_).now(); }
 
   /// Application computation for `seconds` (outside MPI: devices without
   /// NIC-side protocol engines cannot make rendezvous progress meanwhile).
@@ -105,6 +110,14 @@ class Comm {
                            const std::vector<std::uint64_t>& counts,
                            View recvpart, Rank root);
 
+  /// Outcome of this rank's most recent collective. kErrNone, or
+  /// kErrFabric when a transport error surfaced anywhere in the
+  /// collective. Under an armed fail-stop fault plan every collective
+  /// runs an error-agreement epilogue, so all live ranks observe the
+  /// SAME value here after the same collective — no rank returns "ok"
+  /// while a peer saw its subtree die.
+  int last_error() const { return last_error_; }
+
  private:
   /// Record a trace event if the job has a tracer installed.
   void trace(prof::EventKind kind, const char* op, Rank peer,
@@ -135,13 +148,33 @@ class Comm {
 
   sim::Task<Status> sendrecv_internal(View sendbuf, Rank dst, Tag stag,
                                       View recvbuf, Rank src, Tag rtag);
-  sim::Task<void> bcast_p2p(View buf, Rank root, Tag tag);
-  sim::Task<void> reduce_p2p(View buf, std::size_t count, Dtype dtype, ROp op,
-                             Rank root, Tag tag);
+  /// Internal collective building blocks. Both return the error envelope
+  /// accumulated over their point-to-point legs (kErrNone or kErrFabric)
+  /// instead of hiding it: a dead link errors the affected wait rather
+  /// than hanging it, and the collective threads the verdict through to
+  /// the agreement epilogue.
+  sim::Task<int> bcast_p2p(View buf, Rank root, Tag tag);
+  sim::Task<int> reduce_p2p(View buf, std::size_t count, Dtype dtype, ROp op,
+                            Rank root, Tag tag);
+  /// Two-sweep deterministic error agreement (fail-stop plans only).
+  /// Each sweep is a binomial fan-in to rank 0 followed by a binomial
+  /// fan-out; the error bit travels in the token SIZE (1 byte = clean,
+  /// 2 bytes = error), so a rank that cannot hear the verdict because
+  /// its own path died observes the error anyway — the failed delivery
+  /// completes its receive with kErrFabric. With permanent (fail-stop)
+  /// faults and a single error class, two sweeps make every live rank
+  /// leave with the same value even when the fault first manifests
+  /// during sweep one.
+  sim::Task<int> agree_error(Tag tag, int err);
+  /// Collective epilogue: runs agree_error under an armed fail-stop
+  /// plan (transient-only runs skip it and stay bit-identical), then
+  /// publishes the outcome to last_error().
+  sim::Task<void> finish_collective(Tag tag, int err);
 
   Mpi* mpi_;
   Rank rank_;
   std::uint64_t coll_seq_ = 0;
+  int last_error_ = kErrNone;
 };
 
 }  // namespace mns::mpi

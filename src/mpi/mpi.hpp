@@ -144,6 +144,14 @@ class Mpi {
   void set_tracer(prof::Tracer* t) { tracer_ = t; }
   prof::Tracer* tracer() const { return tracer_; }
 
+  /// Armed by the cluster when the fault plan contains fail-stop clauses
+  /// (linkdown/nicdown). Collectives then run a deterministic
+  /// error-agreement epilogue so every live rank observes the same
+  /// outcome; transient-only and fault-free runs skip it entirely,
+  /// keeping their event streams bit-identical.
+  void set_fail_stop_armed(bool v) { fail_stop_armed_ = v; }
+  bool fail_stop_armed() const { return fail_stop_armed_; }
+
   /// Collective-coordination slot (used for the Elan hardware-broadcast
   /// fast path): every rank arrives at collective #seq; the root's
   /// broadcast completion releases them all, and the payload lets
@@ -188,6 +196,7 @@ class Mpi {
   std::vector<std::unique_ptr<Proc>> procs_;
   std::unique_ptr<Device> device_;
   prof::Tracer* tracer_ = nullptr;
+  bool fail_stop_armed_ = false;
   std::unordered_map<std::uint64_t, std::unique_ptr<CollSlot>> slots_;
   std::unordered_map<std::uint64_t, std::uint64_t> canon_pages_;
   std::uint64_t canon_next_page_ = 0;

@@ -261,6 +261,17 @@ bool Engine::step() {
       nowq_head_ = 0;
     }
   }
+  if (at_ps > time_limit_ps_) {
+    // Progress watchdog horizon crossed: the queue is still live (this
+    // event would have run), so this is a livelock, not a deadlock.
+    throw LivelockError(
+        "engine clock would cross the configured time limit (" +
+        Time::ps(time_limit_ps_).str() + ")\n  now           = " +
+        now_.str() + "\n  next event at = " + Time::ps(at_ps).str() +
+        "\n  events run    = " + std::to_string(events_processed_) +
+        "\n  pending       = " + std::to_string(pending_events()) +
+        "\n  live procs    = " + std::to_string(live_));
+  }
 #if defined(MNS_AUDIT_ENABLED)
   MNS_AUDIT(at_ps >= now_.count_ps(),
             "event time regressed behind the clock");

@@ -64,6 +64,25 @@ class EventLimitError : public std::runtime_error {
                            "); suspected live-lock (unsatisfiable poll?)") {}
 };
 
+/// Thrown by the progress watchdog: the simulation keeps scheduling events
+/// (so DeadlockError never fires) and keeps advancing time (so no single
+/// budget trips), yet the workload makes no forward progress — the classic
+/// shape is an RTO storm retransmitting into a dead link forever. Carries
+/// a human-readable diagnostic report assembled by whoever detected the
+/// livelock (per-flow stages, pending timers, per-partition horizons).
+class LivelockError : public std::runtime_error {
+ public:
+  explicit LivelockError(std::string report)
+      : std::runtime_error("simulation livelock: no forward progress\n" +
+                           report),
+        report_(std::move(report)) {}
+  /// The diagnostic report alone (what() prefixes it with a headline).
+  const std::string& report() const { return report_; }
+
+ private:
+  std::string report_;
+};
+
 /// The event payload: a raw function pointer plus two inline words.
 ///
 /// Three storage forms, cheapest first:
@@ -364,6 +383,17 @@ class Engine {
   /// (default: effectively unlimited).
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
+  /// Progress watchdog: abort with LivelockError the moment an event past
+  /// `deadline` would run (default: no limit). Unlike run_until — which
+  /// returns control with the queue intact — crossing this horizon is a
+  /// hard failure: it converts a runaway simulation (RTO storm, unbounded
+  /// poll) into a clean diagnostic instead of an unbounded wall-clock
+  /// hang. Works identically under the PDES executor, where each
+  /// partition's engine checks its own clock.
+  void set_time_limit(Time deadline) { time_limit_ps_ = deadline.count_ps(); }
+  Time time_limit() const { return Time::ps(time_limit_ps_); }
+  bool has_time_limit() const { return time_limit_ps_ != INT64_MAX; }
+
   /// Finalize-time conservation checks: event queue drained, no live
   /// non-daemon process. Register after the simulation has run.
   void register_audits(audit::AuditReport& report);
@@ -474,6 +504,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t event_limit_ = UINT64_MAX;
+  std::int64_t time_limit_ps_ = INT64_MAX;
   std::size_t live_ = 0;
   std::exception_ptr failure_;
   // Live root frames only; finished processes are destroyed eagerly so

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "elan/elan_fabric.hpp"
 #include "fault/fault.hpp"
+#include "gm/gm_fabric.hpp"
 #include "ib/ib_fabric.hpp"
 #include "mpi/comm.hpp"
 #include "sweep/sweep_runner.hpp"
@@ -311,6 +313,208 @@ TEST(Chaos, RegistrationFailureFallsBackToEager) {
   EXPECT_EQ(c.fabric().messages_errored(), 0u);
   EXPECT_TRUE(c.make_audit_report().clean())
       << c.make_audit_report().summary();
+}
+
+// --- fail-stop grammar and precedence ---------------------------------------
+
+TEST(FaultPlanParse, ParsesFailStopClauses) {
+  const fault::FaultPlan p = fault::FaultPlan::parse(
+      "linkdown:2-3:80;nicdown:1:120;linkdown:0-*:40");
+  EXPECT_TRUE(p.has_fail_stop());
+  ASSERT_EQ(p.link_downs().size(), 2u);
+  EXPECT_EQ(p.link_downs()[0].src, 2);
+  EXPECT_EQ(p.link_downs()[0].dst, 3);
+  EXPECT_EQ(p.link_downs()[0].at, sim::Time::us(80));
+  EXPECT_EQ(p.link_downs()[1].src, 0);
+  EXPECT_EQ(p.link_downs()[1].dst, fault::kAnyNode);
+  ASSERT_EQ(p.nic_downs().size(), 1u);
+  EXPECT_EQ(p.nic_downs()[0].node, 1);
+  EXPECT_EQ(p.nic_downs()[0].at, sim::Time::us(120));
+
+  EXPECT_THROW(fault::FaultPlan::parse("linkdown:0-1"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("nicdown:*:10"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("nicdown:2"), std::invalid_argument);
+  // A transient-only plan never arms the fail-stop machinery.
+  EXPECT_FALSE(fault::FaultPlan::parse("drop:*:0.1").has_fail_stop());
+}
+
+TEST(FaultPlanParse, SpecificClauseBeatsWildcardRegardlessOfOrder) {
+  // Exact link written FIRST, full wildcard last: the exact clause still
+  // owns its link, the wildcard fills in everything else.
+  const fault::FaultPlan p = fault::FaultPlan::parse("drop:0-1:0.0;drop:*:0.5");
+  fault::Injector inj(p, 4);
+  EXPECT_FALSE(inj.link_armed(0, 1));
+  EXPECT_TRUE(inj.link_armed(0, 2));
+  EXPECT_TRUE(inj.link_armed(1, 0));
+  // One-sided wildcards sit between exact and the full wildcard.
+  const fault::FaultPlan q = fault::FaultPlan::parse(
+      "corrupt:0-*:0.0;corrupt:*:0.5;corrupt:0-3:0.25");
+  fault::Injector jnj(q, 4);
+  EXPECT_FALSE(jnj.link_armed(0, 1));  // 0-* beats *
+  EXPECT_TRUE(jnj.link_armed(0, 3));   // exact beats 0-*
+  EXPECT_TRUE(jnj.link_armed(2, 1));   // only * applies
+}
+
+TEST(FaultPlanParse, OverlappingDownsTakeTheEarliestInstant) {
+  // Fail-stop clauses compose earliest-wins, not specific-beats-wildcard:
+  // a link cannot die twice, and the first death is the one that matters.
+  const fault::FaultPlan p = fault::FaultPlan::parse(
+      "linkdown:0-1:900;linkdown:*:500;nicdown:2:300");
+  fault::Injector inj(p, 4);
+  EXPECT_EQ(inj.link_down_at(0, 1), sim::Time::us(500));
+  EXPECT_EQ(inj.link_down_at(1, 0), sim::Time::us(500));
+  EXPECT_EQ(inj.link_down_at(0, 2), sim::Time::us(300));
+  EXPECT_EQ(inj.link_down_at(2, 3), sim::Time::us(300));
+  EXPECT_FALSE(inj.link_dead(0, 1, sim::Time::us(499)));
+  EXPECT_TRUE(inj.link_dead(0, 1, sim::Time::us(500)));
+}
+
+// --- fail-stop degradation --------------------------------------------------
+
+// A link that is dead from t=0: the first message runs the fabric's full
+// retry protocol and surfaces kErrFabric (that exhaustion is what teaches
+// the fabric the link is dead); every later message on the link takes the
+// bounded degradation fast path and terminates as `aborted`. Both sides
+// observe the error, and the extended conservation law
+//   posted == delivered + errored + aborted
+// balances on every fabric.
+TEST(Chaos, LinkDownDegradesToBoundedFastFailureOnEveryFabric) {
+  constexpr int kMsgs = 7;
+  for (const cluster::Net net : kAllNets) {
+    cluster::ClusterConfig cfg{.nodes = 2, .net = net};
+    cfg.faults = fault::FaultPlan(7).link_down(0, 1, sim::Time::zero());
+    cluster::Cluster c(cfg);
+    std::vector<mpi::Status> sends, recvs;
+    c.run([&](mpi::Comm& comm) -> sim::Task<void> {
+      // Rendezvous-sized: the sender only observes delivery failure for
+      // messages whose completion is remote (eager sends complete at the
+      // local NIC by design — their errors surface at the receiver).
+      const mpi::View buf = mpi::View::synth(0x20000, kRdvBytes);
+      // Lock-step so exactly one message is in flight at a time: message
+      // 0 exhausts the retry budget, messages 1..N-1 hit the learned-dead
+      // fast path.
+      for (int i = 0; i < kMsgs; ++i) {
+        if (comm.rank() == 0) {
+          sends.push_back(co_await comm.wait(co_await comm.isend(buf, 1, i)));
+        } else {
+          recvs.push_back(co_await comm.recv(buf, 0, i));
+        }
+      }
+    });
+    model::NetFabric& fab = c.fabric();
+    ASSERT_EQ(sends.size(), static_cast<std::size_t>(kMsgs));
+    ASSERT_EQ(recvs.size(), static_cast<std::size_t>(kMsgs));
+    for (int i = 0; i < kMsgs; ++i) {
+      EXPECT_EQ(sends[static_cast<std::size_t>(i)].error, mpi::kErrFabric)
+          << net_name(net) << " send " << i;
+      EXPECT_EQ(recvs[static_cast<std::size_t>(i)].error, mpi::kErrFabric)
+          << net_name(net) << " recv " << i;
+    }
+    EXPECT_TRUE(fab.link_known_dead(0, 1)) << net_name(net);
+    EXPECT_FALSE(fab.link_known_dead(1, 0)) << net_name(net);
+    EXPECT_GE(fab.messages_errored(), 1u) << net_name(net);
+    EXPECT_GE(fab.messages_aborted(), 1u) << net_name(net);
+    EXPECT_EQ(fab.messages_posted(),
+              fab.messages_delivered() + fab.messages_errored() +
+                  fab.messages_aborted())
+        << net_name(net);
+    // Per-fabric degradation vocabulary over the same shard state.
+    EXPECT_EQ(fab.links_failed(), 1u) << net_name(net);
+    EXPECT_EQ(fab.degrade_rounds(), fab.messages_aborted()) << net_name(net);
+    if (net == cluster::Net::kInfiniBand) {
+      auto& ib = dynamic_cast<ib::IbFabric&>(fab);
+      EXPECT_EQ(ib.qp_teardowns(), 1u);
+      EXPECT_GE(ib.reconnect_attempts(), 1u);
+    } else if (net == cluster::Net::kMyrinet) {
+      EXPECT_EQ(dynamic_cast<gm::GmFabric&>(fab).route_probes(), 1u);
+    } else {
+      EXPECT_EQ(dynamic_cast<elan::ElanFabric&>(fab).retry_escalations(), 1u);
+    }
+    EXPECT_TRUE(c.make_audit_report().clean())
+        << net_name(net) << ": " << c.make_audit_report().summary();
+  }
+}
+
+// Arming a fail-stop clause must not perturb any transient RNG stream:
+// a run whose linkdown sits beyond the end of the simulation is
+// bit-identical to one with no linkdown at all.
+TEST(Chaos, UnreachedLinkDownLeavesTransientStreamsBitIdentical) {
+  auto digest = [](bool with_down) {
+    cluster::ClusterConfig cfg{.nodes = kNodes,
+                               .net = cluster::Net::kMyrinet};
+    cfg.faults = plan_for(9);
+    if (with_down) {
+      cfg.faults.link_down(0, 1, sim::Time::us(30'000'000));
+    }
+    cluster::Cluster c(cfg);
+    c.run([&](mpi::Comm& comm) -> sim::Task<void> {
+      const int right = (comm.rank() + 1) % comm.size();
+      const int left = (comm.rank() + comm.size() - 1) % comm.size();
+      auto rr = co_await comm.irecv(mpi::View::synth(0x7000, kRdvBytes),
+                                    left, 0);
+      co_await comm.send(mpi::View::synth(0x8000, kRdvBytes), right, 0);
+      co_await comm.wait(rr);
+    });
+    return std::pair{c.engine().now().count_ps(),
+                     c.fabric().packets_retransmitted()};
+  };
+  EXPECT_EQ(digest(false), digest(true));
+}
+
+// --- progress watchdog ------------------------------------------------------
+
+// An unbounded retry budget against a dead link is a genuine livelock:
+// simulated time advances (so the quiescence deadlock check never fires)
+// but no flow ever terminates. The per-flow watchdog converts it into
+// sim::LivelockError carrying the fabric's progress report.
+TEST(Chaos, WatchdogTripsOnUnboundedRetryStorm) {
+  cluster::ClusterConfig cfg{.nodes = 2, .net = cluster::Net::kInfiniBand};
+  cfg.faults = fault::FaultPlan(1).link_down(0, 1, sim::Time::zero());
+  cfg.tweak_ib = [](ib::IbConfig& c) { c.recovery.retry_budget = 1 << 20; };
+  cluster::Cluster c(cfg);
+  c.fabric().set_watchdog_rounds(64);
+  try {
+    c.run([](mpi::Comm& comm) -> sim::Task<void> {
+      if (comm.rank() == 0) {
+        co_await comm.send(mpi::View::synth(0xD000, kEagerBytes), 1, 0);
+      }
+      co_return;
+    });
+    FAIL() << "expected sim::LivelockError";
+  } catch (const sim::LivelockError& e) {
+    const std::string r = e.report();
+    EXPECT_NE(r.find("netfabric progress report"), std::string::npos) << r;
+    EXPECT_NE(r.find("attempts"), std::string::npos) << r;
+    EXPECT_NE(r.find("0->1"), std::string::npos) << r;
+  }
+}
+
+// The --max-sim-time horizon (ClusterConfig::max_sim_time) converts a
+// run that overruns its expected simulated duration into the same
+// LivelockError, with the engine's own clock diagnostic.
+TEST(Chaos, MaxSimTimeGuardAbortsARunThatOverruns) {
+  cluster::ClusterConfig cfg{.nodes = 2, .net = cluster::Net::kMyrinet};
+  cfg.max_sim_time = sim::Time::us(50);
+  cluster::Cluster c(cfg);
+  try {
+    c.run([](mpi::Comm& comm) -> sim::Task<void> {
+      const mpi::View buf = mpi::View::synth(0xE000, kRdvBytes);
+      for (int i = 0; i < 64; ++i) {
+        if (comm.rank() == 0) {
+          co_await comm.send(buf, 1, i);
+          co_await comm.recv(buf, 1, 1000 + i);
+        } else {
+          co_await comm.recv(buf, 0, i);
+          co_await comm.send(buf, 0, 1000 + i);
+        }
+      }
+    });
+    FAIL() << "expected sim::LivelockError";
+  } catch (const sim::LivelockError& e) {
+    EXPECT_NE(e.report().find("time limit"), std::string::npos) << e.report();
+  }
 }
 
 // The tentpole property: 64 seeds x 3 fabrics, every point holds the

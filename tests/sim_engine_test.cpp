@@ -203,6 +203,26 @@ TEST(Engine, RunUntilStopsAtDeadline) {
   EXPECT_EQ(ticks, 100);
 }
 
+TEST(Engine, TimeLimitConvertsOverrunIntoLivelockError) {
+  // Unlike run_until (which parks cleanly at the deadline), the time
+  // limit is a watchdog: crossing it is an error carrying a diagnostic
+  // of where the clock stood and what was still pending.
+  Engine eng;
+  eng.set_time_limit(Time::us(10));
+  int ran = 0;
+  eng.at(Time::us(5), [&] { ++ran; });
+  eng.at(Time::us(20), [&] { ++ran; });
+  try {
+    eng.run();
+    FAIL() << "expected LivelockError";
+  } catch (const LivelockError& e) {
+    const std::string r = e.report();
+    EXPECT_NE(r.find("time limit"), std::string::npos) << r;
+    EXPECT_NE(r.find("next event at"), std::string::npos) << r;
+  }
+  EXPECT_EQ(ran, 1);  // the in-horizon event ran, the overrun one did not
+}
+
 TEST(Engine, EventLimitCatchesLiveLock) {
   // A self-rescheduling poller never drains the queue; the event budget
   // must convert the live-lock into an error instead of spinning forever.

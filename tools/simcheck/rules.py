@@ -26,6 +26,13 @@ DEFAULT_HOT_ROOTS = [
     r"MsgFlow::thunk$",
     r"Injector::(packet_verdict|reg_should_fail)$",
     r"Engine::step$",
+    # Fail-stop degradation fast path: once a link is learned dead every
+    # later message on it terminates through these per-message — they are
+    # as hot as delivery under a fail-stop plan. (learn_link_dead and the
+    # fabrics' degrade_delay overrides are reached from fail_flow /
+    # sender_loop and covered transitively.)
+    r"NetFabric::(abort_degraded|learn_link_dead|link_known_dead)$",
+    r"(IbFabric|GmFabric|ElanFabric)::degrade_delay$",
 ]
 
 # Callees that defer their lambda argument beyond the current frame — a
